@@ -1,0 +1,99 @@
+// Experiment E6 (§3.3, Proposition 5): disjunctive filters as constrained
+// outer-join chains vs. unions of filtered producers.
+//
+// Query shape: P(x) ∧ (T1(x) ∨ T2(x) ∨ ...), with the overlap between the
+// disjuncts as the sweep parameter: the higher the fraction of P accepted
+// by T1, the more probes into T2.. the constraint skips. The chain scans P
+// once regardless of n; the union scans it n times.
+
+#include <random>
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+/// P with `n` ints; Ti accepting `hit_percent`% of P, arranged so earlier
+/// disjuncts accept a prefix (maximizing the skippable probes).
+Database MakeDb(size_t n, int hit_percent, int disjuncts) {
+  Database db;
+  Relation p(1);
+  for (size_t i = 0; i < n; ++i) p.Insert(Tuple({Value::Int(i)}));
+  db.Put("P", std::move(p));
+  size_t hits = n * static_cast<size_t>(hit_percent) / 100;
+  for (int d = 0; d < disjuncts; ++d) {
+    Relation t(1);
+    // Each disjunct accepts a shifted window of P.
+    size_t offset = d * n / static_cast<size_t>(disjuncts);
+    for (size_t i = 0; i < hits; ++i) {
+      t.Insert(Tuple({Value::Int((offset + i) % n)}));
+    }
+    db.Put("T" + std::to_string(d + 1), std::move(t));
+  }
+  return db;
+}
+
+std::string QueryText(int disjuncts, bool negate_first) {
+  std::string q = "{ x | P(x) & (";
+  for (int d = 0; d < disjuncts; ++d) {
+    if (d > 0) q += " | ";
+    if (d == 0 && negate_first) q += "~";
+    q += "T" + std::to_string(d + 1) + "(x)";
+  }
+  return q + ") }";
+}
+
+void RunWith(benchmark::State& state, Strategy strategy, bool negate_first) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)),
+                       static_cast<int>(state.range(2)));
+  std::string text = QueryText(static_cast<int>(state.range(2)),
+                               negate_first);
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunStrategy(db, text, strategy);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Filter_OuterJoinChain(benchmark::State& state) {
+  RunWith(state, Strategy::kBry, false);
+}
+void BM_Filter_UnionOfFilters(benchmark::State& state) {
+  RunWith(state, Strategy::kBryUnionFilters, false);
+}
+void BM_Filter_NestedLoop(benchmark::State& state) {
+  RunWith(state, Strategy::kNestedLoop, false);
+}
+void BM_NegatedFilter_OuterJoinChain(benchmark::State& state) {
+  RunWith(state, Strategy::kBry, true);
+}
+void BM_NegatedFilter_UnionOfFilters(benchmark::State& state) {
+  RunWith(state, Strategy::kBryUnionFilters, true);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  // {|P|, hit %, number of disjuncts}.
+  b->Args({10000, 10, 2})
+      ->Args({10000, 50, 2})
+      ->Args({10000, 90, 2})
+      ->Args({10000, 50, 4})
+      ->Args({100000, 50, 2})
+      ->Args({100000, 50, 4})
+      ->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Filter_OuterJoinChain)->Apply(Args);
+BENCHMARK(BM_Filter_UnionOfFilters)->Apply(Args);
+BENCHMARK(BM_NegatedFilter_OuterJoinChain)->Apply(Args);
+BENCHMARK(BM_NegatedFilter_UnionOfFilters)->Apply(Args);
+BENCHMARK(BM_Filter_NestedLoop)
+    ->Args({10000, 50, 2})
+    ->Args({10000, 50, 4})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,140 @@
+// Experiments E4/E10 (§3.2, Proposition 4): universal quantification
+// without the division operator.
+//
+// Query: "students attending all db lectures" —
+//   { x | student(x) & (forall y: lecture(y,db) -> attends(x,y)) }
+//
+// Strategies compared:
+//   bry           — double complement-join (the paper's default rewrite)
+//   bry-division  — the paper's literal case-5 division expression
+//   classical     — prenex + cartesian product of ranges + division
+//
+// Expect bry ≈ bry-division ≪ classical, with classical degrading
+// super-linearly as the product of ranges grows.
+
+#include <random>
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb(size_t students, size_t lectures, double completionists) {
+  UniversityConfig config;
+  config.students = students;
+  config.lectures = lectures;
+  config.completionist_fraction = completionists;
+  config.attends_per_student = 5.0;
+  config.seed = 11;
+  return MakeUniversity(config);
+}
+
+const char* kUniversalQuery =
+    "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }";
+
+void RunWith(benchmark::State& state, Strategy strategy) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<size_t>(state.range(1)), 0.05);
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunStrategy(db, kUniversalQuery, strategy);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Universal_Bry(benchmark::State& state) {
+  RunWith(state, Strategy::kBry);
+}
+void BM_Universal_BryDivision(benchmark::State& state) {
+  RunWith(state, Strategy::kBryDivision);
+}
+void BM_Universal_Classical(benchmark::State& state) {
+  RunWith(state, Strategy::kClassical);
+}
+void BM_Universal_QuelCounting(benchmark::State& state) {
+  RunWith(state, Strategy::kQuelCounting);
+}
+void BM_Universal_NestedLoop(benchmark::State& state) {
+  RunWith(state, Strategy::kNestedLoop);
+}
+
+void SmallArgs(benchmark::internal::Benchmark* b) {
+  // {students, lectures} — classical runs only at modest scales; its
+  // product of ranges retains |student| × |lecture| tuples.
+  b->Args({200, 24})->Args({800, 24})->Args({2000, 48})
+      ->Unit(benchmark::kMicrosecond);
+}
+
+void LargeArgs(benchmark::internal::Benchmark* b) {
+  b->Args({200, 24})
+      ->Args({800, 24})
+      ->Args({2000, 48})
+      ->Args({8000, 48})
+      ->Args({20000, 96})
+      ->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Universal_Bry)->Apply(LargeArgs);
+BENCHMARK(BM_Universal_BryDivision)->Apply(LargeArgs);
+BENCHMARK(BM_Universal_QuelCounting)->Apply(LargeArgs);
+BENCHMARK(BM_Universal_NestedLoop)->Apply(SmallArgs);
+BENCHMARK(BM_Universal_Classical)->Apply(SmallArgs);
+
+// E10 ablation on the exact-division shape (independent inner range):
+// ¬∃z (T1(z) ∧ ¬G(x,z)) — division vs. double complement-join on the same
+// plans' own turf.
+Database MakeDivisionDb(size_t xs, size_t zs, double density) {
+  std::mt19937_64 rng(3);
+  Relation r(1), t1(1), g(2);
+  for (size_t z = 0; z < zs; ++z) t1.Insert(Tuple({Value::Int(z)}));
+  for (size_t x = 0; x < xs; ++x) {
+    r.Insert(Tuple({Value::Int(x)}));
+    for (size_t z = 0; z < zs; ++z) {
+      if (std::uniform_real_distribution<double>(0, 1)(rng) < density) {
+        g.Insert(Tuple({Value::Int(x), Value::Int(z)}));
+      }
+    }
+  }
+  Database db;
+  db.Put("R", std::move(r));
+  db.Put("T1", std::move(t1));
+  db.Put("G", std::move(g));
+  return db;
+}
+
+const char* kDivisionShape =
+    "{ x | R(x) & ~(exists z: T1(z) & ~G(x, z)) }";
+
+void BM_Case5_ComplementJoin(benchmark::State& state) {
+  Database db = MakeDivisionDb(state.range(0), state.range(1), 0.9);
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunStrategy(db, kDivisionShape, Strategy::kBry);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Case5_Division(benchmark::State& state) {
+  Database db = MakeDivisionDb(state.range(0), state.range(1), 0.9);
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunStrategy(db, kDivisionShape, Strategy::kBryDivision);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void DivisionArgs(benchmark::internal::Benchmark* b) {
+  b->Args({1000, 10})->Args({1000, 50})->Args({10000, 10})
+      ->Args({10000, 50})->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Case5_ComplementJoin)->Apply(DivisionArgs);
+BENCHMARK(BM_Case5_Division)->Apply(DivisionArgs);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E5 (§3.2): the non-emptiness test. Closed existential
+// queries stop at the first witness; the conventional approach
+// materializes the full answer set first. The sweep moves the witness
+// through the scan order — early witnesses make the test nearly free.
+
+#include "bench/bench_util.h"
+#include "exec/executor.h"
+
+namespace bryql {
+namespace {
+
+/// big(x) with n rows; marked(x) holds for exactly one x placed at
+/// `position_percent` of the scan order.
+Database MakeDb(size_t n, int position_percent) {
+  Relation big(1), marked(1);
+  size_t witness = n * static_cast<size_t>(position_percent) / 100;
+  if (witness >= n) witness = n - 1;
+  for (size_t i = 0; i < n; ++i) big.Insert(Tuple({Value::Int(i)}));
+  marked.Insert(Tuple({Value::Int(witness)}));
+  Database db;
+  db.Put("big", std::move(big));
+  db.Put("marked", std::move(marked));
+  return db;
+}
+
+const char* kClosed = "exists x: big(x) & marked(x)";
+
+void BM_EmptinessTest(benchmark::State& state) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunPipeline(db, kClosed);
+    benchmark::DoNotOptimize(exec.answer.truth);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+/// The conventional route: materialize the witness set, then test.
+void BM_FullMaterialization(benchmark::State& state) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  ExecStats stats;
+  bool truth = false;
+  ExprPtr plan = Expr::SemiJoin(Expr::Scan("big"), Expr::Scan("marked"),
+                                {{0, 0}});
+  for (auto _ : state) {
+    Executor exec(&db);
+    auto rel = exec.Evaluate(plan);
+    if (!rel.ok()) std::abort();
+    truth = !rel->empty();
+    stats = exec.stats();
+    benchmark::DoNotOptimize(truth);
+  }
+  bench::ReportStats(state, stats, truth ? 1 : 0);
+}
+
+/// Figure 1a for reference: the loop also stops at the first witness.
+void BM_NestedLoopClosed(benchmark::State& state) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunStrategy(db, kClosed, Strategy::kNestedLoop);
+    benchmark::DoNotOptimize(exec.answer.truth);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  // {|big|, witness position %}.
+  b->Args({100000, 1})
+      ->Args({100000, 50})
+      ->Args({100000, 99})
+      ->Args({1000000, 1})
+      ->Args({1000000, 99})
+      ->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_EmptinessTest)->Apply(Args);
+BENCHMARK(BM_FullMaterialization)->Apply(Args);
+BENCHMARK(BM_NestedLoopClosed)->Apply(Args);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Experiment E9: end-to-end scale sweep. A representative subset of the
+// paper suite (one query per §3 mechanism) across database scales and all
+// strategies. The headline shape: bry ≥ every baseline everywhere, the
+// classical reduction degrades fastest, nested loops pay per-tuple probe
+// costs that the algebra amortizes.
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* text;
+};
+
+const Workload kWorkloads[] = {
+    {"complement-join", "{ x, z | member(x, z) & ~skill(x, db) }"},
+    {"universal",
+     "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }"},
+    {"disjunctive-filter",
+     "{ x | student(x) & (speaks(x, french) | speaks(x, german)) }"},
+    {"producer-disjunction",
+     "{ x | ((student(x) & makes(x, phd)) | professor(x)) & "
+     "(speaks(x, french) | speaks(x, german)) }"},
+    {"nested-exists",
+     "exists x y: enrolled(x, y) & y != cs & makes(x, phd) & "
+     "(exists z: lecture(z, ai) & attends(x, z))"},
+};
+
+Database MakeDb(size_t students) {
+  UniversityConfig config;
+  config.students = students;
+  config.professors = students / 8;
+  config.lectures = 48;
+  config.seed = 31;
+  return MakeUniversity(config);
+}
+
+void RunCase(benchmark::State& state, Strategy strategy) {
+  const Workload& w = kWorkloads[state.range(1)];
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  // The classical reduction's range products are intractable for the
+  // nested shapes past small scales.
+  if (strategy == Strategy::kClassical && state.range(0) > 2000 &&
+      (std::string(w.name) == "universal" ||
+       std::string(w.name) == "nested-exists")) {
+    state.SkipWithError("classical reduction intractable at this scale");
+    return;
+  }
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunStrategy(db, w.text, strategy);
+    benchmark::DoNotOptimize(exec.answer.relation);
+    benchmark::DoNotOptimize(exec.answer.truth);
+  }
+  state.SetLabel(std::string(w.name) + " [" + StrategyName(strategy) + "]");
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_EndToEnd_Bry(benchmark::State& state) {
+  RunCase(state, Strategy::kBry);
+}
+void BM_EndToEnd_Classical(benchmark::State& state) {
+  RunCase(state, Strategy::kClassical);
+}
+void BM_EndToEnd_NestedLoop(benchmark::State& state) {
+  RunCase(state, Strategy::kNestedLoop);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (long scale : {500L, 2000L, 8000L}) {
+    for (long w = 0; w < 5; ++w) b->Args({scale, w});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_EndToEnd_Bry)->Apply(Args);
+BENCHMARK(BM_EndToEnd_NestedLoop)->Apply(Args);
+BENCHMARK(BM_EndToEnd_Classical)->Apply(Args);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Experiment E1 (§2.2): the miniscope form avoids re-evaluating
+// subexpressions per quantified tuple.
+//
+// Query Q1: ∃x student(x) ∧ ∀y (cs-lecture(y) ⇒ attends(x,y) ∧
+// ¬enrolled(x,cs)). Without miniscoping, ¬enrolled(x,cs) is checked once
+// per (student, cs-lecture) pair; in canonical (miniscope) form, once per
+// student. The gap grows linearly with the number of cs-lectures.
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb(size_t students, size_t lectures) {
+  UniversityConfig config;
+  config.students = students;
+  config.lectures = lectures;
+  config.completionist_fraction = 0.02;
+  config.attends_per_student = 4.0;
+  config.seed = 5;
+  return MakeUniversity(config);
+}
+
+const char* kQ1 =
+    "exists x: student(x) & "
+    "(forall y: cs-lecture(y) -> attends(x, y) & ~enrolled(x, cs))";
+
+// An open variant so the evaluation cannot stop at the first witness.
+const char* kQ1Open =
+    "{ x | student(x) & "
+    "(forall y: cs-lecture(y) -> attends(x, y) & ~enrolled(x, cs)) }";
+
+void RunWith(benchmark::State& state, const char* text, bool miniscope) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<size_t>(state.range(1)));
+  RewriteOptions rewrite;
+  rewrite.miniscope = miniscope;
+  rewrite.distribute_filter_disjunctions = miniscope;
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunPipeline(db, text, rewrite);
+    benchmark::DoNotOptimize(exec.answer.truth);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+  state.counters["rewrite_steps"] =
+      benchmark::Counter(static_cast<double>(exec.rewrite_steps));
+}
+
+void BM_Q1Open_Miniscope(benchmark::State& state) {
+  RunWith(state, kQ1Open, true);
+}
+void BM_Q1Open_NoMiniscope(benchmark::State& state) {
+  RunWith(state, kQ1Open, false);
+}
+void BM_Q1Closed_Miniscope(benchmark::State& state) {
+  RunWith(state, kQ1, true);
+}
+void BM_Q1Closed_NoMiniscope(benchmark::State& state) {
+  RunWith(state, kQ1, false);
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  // {students, lectures}; 1/6 of lectures are cs ("db" subject) lectures.
+  b->Args({500, 12})
+      ->Args({500, 48})
+      ->Args({500, 192})
+      ->Args({2000, 48})
+      ->Args({8000, 48})
+      ->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Q1Open_Miniscope)->Apply(Args);
+BENCHMARK(BM_Q1Open_NoMiniscope)->Apply(Args);
+BENCHMARK(BM_Q1Closed_Miniscope)->Apply(Args);
+BENCHMARK(BM_Q1Closed_NoMiniscope)->Apply(Args);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

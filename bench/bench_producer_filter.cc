@@ -1,0 +1,88 @@
+// Experiment E2 (§2.3): producer vs. filter treatment of disjunctions.
+//
+// (a) Q1 → Q3: the *producer* disjunction [(student ∧ makes-phd) ∨ prof]
+//     distributes (Rules 12/13), so the union of students and professors
+//     is never materialized; the ablation keeps it and pays the union.
+// (b) Q4 vs Q5: the disjunction [member(x,cs) ∨ skill(x,math)] is a
+//     *filter* of professor(x) and is kept; the hand-distributed Q5 text
+//     scans the professor relation twice.
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb(size_t students, size_t professors) {
+  UniversityConfig config;
+  config.students = students;
+  config.professors = professors;
+  config.lectures = 24;
+  config.languages_per_person = 2.0;
+  config.seed = 17;
+  return MakeUniversity(config);
+}
+
+const char* kQ1 =
+    "{ x | ((student(x) & makes(x, phd)) | professor(x)) & "
+    "(speaks(x, french) | speaks(x, german)) }";
+
+const char* kQ4 =
+    "{ x | professor(x) & (member(x, cs) | skill(x, math)) & "
+    "speaks(x, french) }";
+
+// §2.3 Q5: the hand-distributed form of Q4 — professor scanned twice.
+const char* kQ5 =
+    "{ x | (professor(x) & member(x, cs) & speaks(x, french)) | "
+    "(professor(x) & skill(x, math) & speaks(x, french)) }";
+
+void RunQ1(benchmark::State& state, bool distribute_producers) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<size_t>(state.range(1)));
+  RewriteOptions rewrite;
+  rewrite.distribute_producer_disjunctions = distribute_producers;
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunPipeline(db, kQ1, rewrite);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Q1_DistributedProducers(benchmark::State& state) {
+  RunQ1(state, true);
+}
+void BM_Q1_KeptProducerDisjunction(benchmark::State& state) {
+  RunQ1(state, false);
+}
+
+void RunText(benchmark::State& state, const char* text) {
+  Database db = MakeDb(static_cast<size_t>(state.range(0)),
+                       static_cast<size_t>(state.range(1)));
+  Execution exec;
+  for (auto _ : state) {
+    exec = bench::RunPipeline(db, text);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Q4_FilterKept(benchmark::State& state) { RunText(state, kQ4); }
+void BM_Q5_HandDistributed(benchmark::State& state) { RunText(state, kQ5); }
+
+void Args(benchmark::internal::Benchmark* b) {
+  // {students, professors}.
+  b->Args({2000, 400})
+      ->Args({10000, 2000})
+      ->Args({50000, 10000})
+      ->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Q1_DistributedProducers)->Apply(Args);
+BENCHMARK(BM_Q1_KeptProducerDisjunction)->Apply(Args);
+BENCHMARK(BM_Q4_FilterKept)->Apply(Args);
+BENCHMARK(BM_Q5_HandDistributed)->Apply(Args);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// Experiment E7 (§2.4): cost of the normalization phase itself. The
+// rewriting system is noetherian (Proposition 1); this bench measures
+// steps and wall time as the query grows — normalization must stay
+// negligible next to evaluation.
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+/// A query with `n` universal blocks and `n` disjunctive filters —
+/// exercising Rules 4/5, 8/9, 10/11 and 14 together.
+std::string WideQuery(int n) {
+  std::string q = "exists x: student(x)";
+  for (int i = 0; i < n; ++i) {
+    q += " & (forall y" + std::to_string(i) + ": lecture(y" +
+         std::to_string(i) + ", db) -> attends(x, y" + std::to_string(i) +
+         "))";
+    q += " & (speaks(x, french) | speaks(x, german))";
+  }
+  return q;
+}
+
+/// Nested quantifier alternation of depth `n`.
+std::string DeepQuery(int n) {
+  std::string q;
+  for (int i = 0; i < n; ++i) {
+    std::string v = "v" + std::to_string(i);
+    if (i % 2 == 0) {
+      q += "exists " + v + ": student(" + v + ") & (";
+    } else {
+      q += "forall " + v + ": student(" + v + ") -> (";
+    }
+  }
+  q += "speaks(v0, french)";
+  for (int i = 0; i < n; ++i) q += ")";
+  return q;
+}
+
+void BM_NormalizeWide(benchmark::State& state) {
+  std::string text = WideQuery(static_cast<int>(state.range(0)));
+  auto query = ParseQuery(text);
+  if (!query.ok()) std::abort();
+  size_t steps = 0;
+  size_t size = 0;
+  for (auto _ : state) {
+    auto norm = Normalize(query->formula);
+    if (!norm.ok()) std::abort();
+    steps = norm->steps();
+    size = norm->formula->Size();
+    benchmark::DoNotOptimize(norm->formula);
+  }
+  state.counters["steps"] = benchmark::Counter(static_cast<double>(steps));
+  state.counters["nodes_out"] =
+      benchmark::Counter(static_cast<double>(size));
+  state.counters["nodes_in"] =
+      benchmark::Counter(static_cast<double>(query->formula->Size()));
+}
+
+void BM_NormalizeDeep(benchmark::State& state) {
+  std::string text = DeepQuery(static_cast<int>(state.range(0)));
+  auto query = ParseQuery(text);
+  if (!query.ok()) std::abort();
+  size_t steps = 0;
+  for (auto _ : state) {
+    auto norm = Normalize(query->formula);
+    if (!norm.ok()) std::abort();
+    steps = norm->steps();
+    benchmark::DoNotOptimize(norm->formula);
+  }
+  state.counters["steps"] = benchmark::Counter(static_cast<double>(steps));
+}
+
+void BM_NormalizePaperSuite(benchmark::State& state) {
+  std::vector<NamedQuery> suite = PaperQuerySuite();
+  size_t steps = 0;
+  for (auto _ : state) {
+    steps = 0;
+    for (const NamedQuery& nq : suite) {
+      auto query = ParseQuery(nq.text);
+      if (!query.ok()) std::abort();
+      auto norm = NormalizeQuery(*query);
+      if (!norm.ok()) std::abort();
+      steps += norm->steps();
+      benchmark::DoNotOptimize(norm->formula);
+    }
+  }
+  state.counters["suite_steps"] =
+      benchmark::Counter(static_cast<double>(steps));
+}
+
+BENCHMARK(BM_NormalizeWide)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NormalizeDeep)->Arg(2)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_NormalizePaperSuite)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+#ifndef BRYQL_BENCH_BENCH_UTIL_H_
+#define BRYQL_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/query_processor.h"
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "translate/translator.h"
+#include "workload/university.h"
+
+namespace bryql {
+namespace bench {
+
+/// Runs text through parse → normalize(rewrite_options) →
+/// translate(translate_options) → execute; aborts the benchmark run on any
+/// error (benchmarks are over fixed, known-good inputs).
+inline Execution RunPipeline(const Database& db, const std::string& text,
+                             const RewriteOptions& rewrite_options = {},
+                             const TranslateOptions& translate_options = {}) {
+  auto query = ParseQuery(text);
+  if (!query.ok()) {
+    std::cerr << "parse failed: " << query.status() << "\n";
+    std::abort();
+  }
+  auto norm = Normalize(query->formula, {}, rewrite_options);
+  if (!norm.ok()) {
+    std::cerr << "normalize failed: " << norm.status() << "\n";
+    std::abort();
+  }
+  Execution exec;
+  exec.query = *query;
+  exec.canonical = norm->formula;
+  exec.rewrite_steps = norm->steps();
+  Translator translator(&db, translate_options);
+  Executor executor(&db);
+  if (query->closed()) {
+    auto plan = translator.TranslateClosed(norm->formula);
+    if (!plan.ok()) {
+      std::cerr << "translate failed: " << plan.status() << "\n";
+      std::abort();
+    }
+    exec.plan = *plan;
+    auto truth = executor.EvaluateBool(exec.plan);
+    if (!truth.ok()) {
+      std::cerr << "execute failed: " << truth.status() << "\n";
+      std::abort();
+    }
+    exec.answer.closed = true;
+    exec.answer.truth = *truth;
+  } else {
+    auto plan =
+        translator.TranslateOpen(Query{query->targets, norm->formula});
+    if (!plan.ok()) {
+      std::cerr << "translate failed: " << plan.status() << "\n";
+      std::abort();
+    }
+    exec.plan = plan->expr;
+    auto rel = executor.Evaluate(exec.plan);
+    if (!rel.ok()) {
+      std::cerr << "execute failed: " << rel.status() << "\n";
+      std::abort();
+    }
+    exec.answer.relation = std::move(*rel);
+  }
+  exec.stats = executor.stats();
+  return exec;
+}
+
+/// Runs under a named end-to-end strategy via QueryProcessor.
+inline Execution RunStrategy(const Database& db, const std::string& text,
+                             Strategy strategy) {
+  QueryProcessor qp(&db);
+  auto exec = qp.Run(text, strategy);
+  if (!exec.ok()) {
+    std::cerr << "strategy " << StrategyName(strategy)
+              << " failed on: " << text << "\n  " << exec.status() << "\n";
+    std::abort();
+  }
+  return *exec;
+}
+
+/// Publishes the paper's cost metrics as benchmark counters.
+inline void ReportStats(benchmark::State& state, const ExecStats& stats,
+                        size_t answer_size) {
+  state.counters["scanned"] =
+      benchmark::Counter(static_cast<double>(stats.tuples_scanned));
+  state.counters["comparisons"] =
+      benchmark::Counter(static_cast<double>(stats.comparisons));
+  state.counters["probes"] =
+      benchmark::Counter(static_cast<double>(stats.hash_probes));
+  state.counters["materialized"] =
+      benchmark::Counter(static_cast<double>(stats.tuples_materialized));
+  state.counters["answers"] =
+      benchmark::Counter(static_cast<double>(answer_size));
+}
+
+inline size_t AnswerSize(const Execution& exec) {
+  return exec.answer.closed ? (exec.answer.truth ? 1 : 0)
+                            : exec.answer.relation.size();
+}
+
+}  // namespace bench
+}  // namespace bryql
+
+#endif  // BRYQL_BENCH_BENCH_UTIL_H_

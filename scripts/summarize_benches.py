@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Summarizes bench_output.txt into per-experiment comparison tables.
+
+Usage: python3 scripts/summarize_benches.py [bench_output.txt]
+
+Groups benchmark lines by binary family (the BM_ prefix up to the first
+'/') and prints time plus the paper's cost counters side by side, so the
+EXPERIMENTS.md tables can be regenerated from a fresh run.
+"""
+import re
+import sys
+from collections import defaultdict
+
+LINE = re.compile(
+    r"^(BM_\w+)/([\w/]+)\s+(\d+(?:\.\d+)?) us\s+\d+(?:\.\d+)? us\s+\d+"
+    r"\s*(.*)$")
+COUNTER = re.compile(r"(\w+)=([\d.]+[kMG]?)")
+
+
+def parse(path):
+    rows = []
+    for line in open(path, encoding="utf-8"):
+        m = LINE.match(line.strip())
+        if not m:
+            continue
+        name, args, time_us, rest = m.groups()
+        counters = dict(COUNTER.findall(rest))
+        label = rest.split()[-1] if rest and "=" not in rest.split()[-1] \
+            else ""
+        rows.append({
+            "bench": name,
+            "args": args,
+            "us": float(time_us),
+            "label": label,
+            **counters,
+        })
+    return rows
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    rows = parse(path)
+    if not rows:
+        print("no benchmark lines found in", path)
+        return 1
+    by_bench = defaultdict(list)
+    for r in rows:
+        by_bench[r["bench"]].append(r)
+    for bench in sorted(by_bench):
+        print(f"\n== {bench}")
+        print(f"{'args':<16} {'time':>12} {'scanned':>12} {'cmp':>12} "
+              f"{'probes':>12} {'answers':>9}  label")
+        for r in by_bench[bench]:
+            print(f"{r['args']:<16} {r['us']:>10.0f}us "
+                  f"{r.get('scanned', '-'):>12} "
+                  f"{r.get('comparisons', '-'):>12} "
+                  f"{r.get('probes', '-'):>12} "
+                  f"{r.get('answers', '-'):>9}  {r.get('label', '')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

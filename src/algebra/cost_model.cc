@@ -1,0 +1,195 @@
+#include "algebra/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bryql {
+
+namespace {
+
+/// Selectivity of a predicate under independence assumptions.
+double Selectivity(const PredicatePtr& pred) {
+  if (pred == nullptr) return 1.0;
+  switch (pred->kind()) {
+    case Predicate::Kind::kTrue:
+      return 1.0;
+    case Predicate::Kind::kCompareColCol:
+    case Predicate::Kind::kCompareColVal:
+      switch (pred->op()) {
+        case CompareOp::kEq:
+          return 0.1;
+        case CompareOp::kNe:
+          return 0.9;
+        default:
+          return 1.0 / 3.0;
+      }
+    case Predicate::Kind::kIsNull:
+    case Predicate::Kind::kIsNotNull:
+      return 0.5;
+    case Predicate::Kind::kAnd: {
+      double s = 1.0;
+      for (const PredicatePtr& c : pred->children()) s *= Selectivity(c);
+      return s;
+    }
+    case Predicate::Kind::kOr: {
+      double keep_none = 1.0;
+      for (const PredicatePtr& c : pred->children()) {
+        keep_none *= 1.0 - Selectivity(c);
+      }
+      return 1.0 - keep_none;
+    }
+    case Predicate::Kind::kNot:
+      return 1.0 - Selectivity(pred->children()[0]);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<CostEstimate> CostModel::Estimate(const ExprPtr& expr) const {
+  // Validate once at the root.
+  BRYQL_RETURN_NOT_OK(expr->Arity(*db_).status());
+  struct Walker {
+    const Database* db;
+
+    CostEstimate Walk(const ExprPtr& e) {
+      switch (e->kind()) {
+        case ExprKind::kScan: {
+          auto rel = db->Get(e->relation_name());
+          double n = rel.ok() ? static_cast<double>((*rel)->size()) : 0.0;
+          return {n, n};
+        }
+        case ExprKind::kLiteral: {
+          double n = static_cast<double>(e->literal().size());
+          return {n, n};
+        }
+        case ExprKind::kSelect: {
+          CostEstimate c = Walk(e->child());
+          double rows = c.rows * Selectivity(e->predicate());
+          return {rows, c.cost + c.rows};
+        }
+        case ExprKind::kProject: {
+          CostEstimate c = Walk(e->child());
+          // Projection may collapse duplicates; assume it keeps most rows
+          // unless it drops to very few columns.
+          double keep = e->columns().empty() ? 0.0 : 0.9;
+          double rows = std::max(1.0, c.rows * keep);
+          return {rows, c.cost + c.rows};
+        }
+        case ExprKind::kProduct: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          double rows = l.rows * r.rows;
+          return {rows, l.cost + r.cost + r.rows + l.rows + rows};
+        }
+        case ExprKind::kJoin: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          double rows = e->keys().empty()
+                            ? l.rows * r.rows
+                            : l.rows * r.rows /
+                                  std::max(1.0, std::max(l.rows, r.rows));
+          rows *= Selectivity(e->predicate());
+          return {rows, l.cost + r.cost + r.rows + l.rows + rows};
+        }
+        case ExprKind::kSemiJoin:
+        case ExprKind::kAntiJoin: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          double keep = r.rows == 0
+                            ? (e->kind() == ExprKind::kAntiJoin ? 1.0 : 0.0)
+                            : 0.5;
+          double rows = l.rows * keep;
+          return {rows, l.cost + r.cost + r.rows + l.rows + rows};
+        }
+        case ExprKind::kOuterJoin: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          double rows = std::max(l.rows, l.rows * r.rows /
+                                             std::max(1.0, r.rows));
+          return {rows, l.cost + r.cost + r.rows + l.rows + rows};
+        }
+        case ExprKind::kMarkJoin: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          // One output row per input row; the constraint saves probes.
+          double probes = l.rows * Selectivity(e->constraint());
+          return {l.rows, l.cost + r.cost + r.rows + probes + l.rows};
+        }
+        case ExprKind::kGroupCount: {
+          CostEstimate c = Walk(e->child());
+          double rows = std::max(1.0, c.rows * 0.3);  // groups per input
+          return {rows, c.cost + c.rows + rows};
+        }
+        case ExprKind::kDivision:
+        case ExprKind::kGroupDivision: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          double rows = l.rows / std::max(1.0, r.rows);
+          return {rows, l.cost + r.cost + l.rows + r.rows + rows};
+        }
+        case ExprKind::kUnion: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          double rows = std::max(l.rows, r.rows) +
+                        0.5 * std::min(l.rows, r.rows);
+          return {rows, l.cost + r.cost + l.rows + r.rows};
+        }
+        case ExprKind::kDifference:
+        case ExprKind::kIntersect: {
+          CostEstimate l = Walk(e->left());
+          CostEstimate r = Walk(e->right());
+          return {l.rows * 0.5, l.cost + r.cost + l.rows + r.rows};
+        }
+        case ExprKind::kNonEmpty: {
+          CostEstimate c = Walk(e->child());
+          // The early-stopping test usually touches a prefix only.
+          return {1.0, c.cost * 0.5 + 1.0};
+        }
+        case ExprKind::kBoolNot: {
+          CostEstimate c = Walk(e->child());
+          return {1.0, c.cost};
+        }
+        case ExprKind::kBoolAnd:
+        case ExprKind::kBoolOr: {
+          double cost = 0;
+          for (const ExprPtr& c : e->children()) cost += Walk(c).cost;
+          return {1.0, cost};
+        }
+      }
+      return {0, 0};
+    }
+  };
+  Walker walker{db_};
+  return walker.Walk(expr);
+}
+
+namespace {
+
+Status AnnotateImpl(const CostModel& model, const ExprPtr& e, int indent,
+                    std::string* out) {
+  // Estimate() validates; here we re-walk per node (plans are small).
+  BRYQL_ASSIGN_OR_RETURN(CostEstimate est, model.Estimate(e));
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  std::string line = e->ToString();
+  *out += line.substr(0, line.find('\n'));
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "  [rows~%.0f cost~%.0f]\n",
+                est.rows, est.cost);
+  *out += buffer;
+  for (const ExprPtr& c : e->children()) {
+    BRYQL_RETURN_NOT_OK(AnnotateImpl(model, c, indent + 1, out));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::string> CostModel::Annotate(const ExprPtr& expr) const {
+  std::string out;
+  BRYQL_RETURN_NOT_OK(AnnotateImpl(*this, expr, 0, &out));
+  return out;
+}
+
+}  // namespace bryql

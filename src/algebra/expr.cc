@@ -1,0 +1,409 @@
+#include "algebra/expr.h"
+
+#include <algorithm>
+
+namespace bryql {
+
+const char* ExprKindName(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kScan:
+      return "Scan";
+    case ExprKind::kLiteral:
+      return "Literal";
+    case ExprKind::kSelect:
+      return "Select";
+    case ExprKind::kProject:
+      return "Project";
+    case ExprKind::kProduct:
+      return "Product";
+    case ExprKind::kJoin:
+      return "Join";
+    case ExprKind::kSemiJoin:
+      return "SemiJoin";
+    case ExprKind::kAntiJoin:
+      return "ComplementJoin";
+    case ExprKind::kOuterJoin:
+      return "OuterJoin";
+    case ExprKind::kMarkJoin:
+      return "ConstrainedOuterJoin";
+    case ExprKind::kDivision:
+      return "Division";
+    case ExprKind::kGroupDivision:
+      return "GroupDivision";
+    case ExprKind::kGroupCount:
+      return "GroupCount";
+    case ExprKind::kUnion:
+      return "Union";
+    case ExprKind::kDifference:
+      return "Difference";
+    case ExprKind::kIntersect:
+      return "Intersect";
+    case ExprKind::kNonEmpty:
+      return "NonEmpty";
+    case ExprKind::kBoolNot:
+      return "BoolNot";
+    case ExprKind::kBoolAnd:
+      return "BoolAnd";
+    case ExprKind::kBoolOr:
+      return "BoolOr";
+  }
+  return "?";
+}
+
+// Factory helpers. Expr's constructor is private, so each factory builds
+// through a local shared_ptr.
+#define BRYQL_MAKE_EXPR(var, kind) \
+  auto var = std::shared_ptr<Expr>(new Expr(kind))
+
+ExprPtr Expr::Scan(std::string relation_name) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kScan);
+  e->name_ = std::move(relation_name);
+  return e;
+}
+
+ExprPtr Expr::Literal(Relation relation) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kLiteral);
+  e->literal_ = std::move(relation);
+  return e;
+}
+
+ExprPtr Expr::Select(ExprPtr child, PredicatePtr predicate) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kSelect);
+  e->children_ = {std::move(child)};
+  e->predicate_ = std::move(predicate);
+  return e;
+}
+
+ExprPtr Expr::Project(ExprPtr child, std::vector<size_t> columns) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kProject);
+  e->children_ = {std::move(child)};
+  e->columns_ = std::move(columns);
+  return e;
+}
+
+ExprPtr Expr::Product(ExprPtr left, ExprPtr right) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kProduct);
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Join(ExprPtr left, ExprPtr right, std::vector<JoinKey> keys,
+                   PredicatePtr residual) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kJoin);
+  e->children_ = {std::move(left), std::move(right)};
+  e->keys_ = std::move(keys);
+  e->predicate_ = std::move(residual);
+  return e;
+}
+
+ExprPtr Expr::SemiJoin(ExprPtr left, ExprPtr right,
+                       std::vector<JoinKey> keys) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kSemiJoin);
+  e->children_ = {std::move(left), std::move(right)};
+  e->keys_ = std::move(keys);
+  return e;
+}
+
+ExprPtr Expr::AntiJoin(ExprPtr left, ExprPtr right,
+                       std::vector<JoinKey> keys) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kAntiJoin);
+  e->children_ = {std::move(left), std::move(right)};
+  e->keys_ = std::move(keys);
+  return e;
+}
+
+ExprPtr Expr::OuterJoin(ExprPtr left, ExprPtr right,
+                        std::vector<JoinKey> keys, PredicatePtr constraint) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kOuterJoin);
+  e->children_ = {std::move(left), std::move(right)};
+  e->keys_ = std::move(keys);
+  e->predicate_ = std::move(constraint);
+  return e;
+}
+
+ExprPtr Expr::MarkJoin(ExprPtr left, ExprPtr right, std::vector<JoinKey> keys,
+                       PredicatePtr constraint) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kMarkJoin);
+  e->children_ = {std::move(left), std::move(right)};
+  e->keys_ = std::move(keys);
+  e->predicate_ = std::move(constraint);
+  return e;
+}
+
+ExprPtr Expr::Division(ExprPtr dividend, ExprPtr divisor) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kDivision);
+  e->children_ = {std::move(dividend), std::move(divisor)};
+  return e;
+}
+
+ExprPtr Expr::GroupDivision(ExprPtr dividend, ExprPtr divisor,
+                            size_t group_arity) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kGroupDivision);
+  e->children_ = {std::move(dividend), std::move(divisor)};
+  e->group_arity_ = group_arity;
+  return e;
+}
+
+ExprPtr Expr::GroupCount(ExprPtr child, size_t group_arity) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kGroupCount);
+  e->children_ = {std::move(child)};
+  e->group_arity_ = group_arity;
+  return e;
+}
+
+ExprPtr Expr::Union(ExprPtr left, ExprPtr right) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kUnion);
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Difference(ExprPtr left, ExprPtr right) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kDifference);
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::Intersect(ExprPtr left, ExprPtr right) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kIntersect);
+  e->children_ = {std::move(left), std::move(right)};
+  return e;
+}
+
+ExprPtr Expr::NonEmpty(ExprPtr child) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kNonEmpty);
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::BoolNot(ExprPtr child) {
+  BRYQL_MAKE_EXPR(e, ExprKind::kBoolNot);
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::BoolAnd(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return children.front();
+  BRYQL_MAKE_EXPR(e, ExprKind::kBoolAnd);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::BoolOr(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return children.front();
+  BRYQL_MAKE_EXPR(e, ExprKind::kBoolOr);
+  e->children_ = std::move(children);
+  return e;
+}
+
+#undef BRYQL_MAKE_EXPR
+
+namespace {
+
+Status BadExpr(const std::string& what) {
+  return Status::InvalidArgument("malformed algebra expression: " + what);
+}
+
+Status CheckKeys(const std::vector<JoinKey>& keys, size_t left_arity,
+                 size_t right_arity, const char* op) {
+  for (const JoinKey& k : keys) {
+    if (k.left >= left_arity || k.right >= right_arity) {
+      return BadExpr(std::string(op) + " key (" + std::to_string(k.left) +
+                     "," + std::to_string(k.right) + ") out of range for " +
+                     std::to_string(left_arity) + "x" +
+                     std::to_string(right_arity));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CheckPredicate(const PredicatePtr& pred, size_t arity,
+                      const char* op) {
+  if (pred == nullptr) return Status::Ok();
+  if (pred->MaxColumn() >= static_cast<int>(arity)) {
+    return BadExpr(std::string(op) + " predicate references column " +
+                   std::to_string(pred->MaxColumn()) + " of arity " +
+                   std::to_string(arity));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<size_t> Expr::Arity(const Database& db) const {
+  switch (kind_) {
+    case ExprKind::kScan:
+      return db.ArityOf(name_);
+    case ExprKind::kLiteral:
+      return literal_.arity();
+    case ExprKind::kSelect: {
+      BRYQL_ASSIGN_OR_RETURN(size_t a, child()->Arity(db));
+      BRYQL_RETURN_NOT_OK(CheckPredicate(predicate_, a, "Select"));
+      return a;
+    }
+    case ExprKind::kProject: {
+      BRYQL_ASSIGN_OR_RETURN(size_t a, child()->Arity(db));
+      for (size_t c : columns_) {
+        if (c >= a) {
+          return BadExpr("projection column " + std::to_string(c) +
+                         " out of range for arity " + std::to_string(a));
+        }
+      }
+      return columns_.size();
+    }
+    case ExprKind::kProduct: {
+      BRYQL_ASSIGN_OR_RETURN(size_t l, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t r, right()->Arity(db));
+      return l + r;
+    }
+    case ExprKind::kJoin: {
+      BRYQL_ASSIGN_OR_RETURN(size_t l, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t r, right()->Arity(db));
+      BRYQL_RETURN_NOT_OK(CheckKeys(keys_, l, r, "Join"));
+      BRYQL_RETURN_NOT_OK(CheckPredicate(predicate_, l + r, "Join"));
+      return l + r;
+    }
+    case ExprKind::kSemiJoin:
+    case ExprKind::kAntiJoin: {
+      BRYQL_ASSIGN_OR_RETURN(size_t l, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t r, right()->Arity(db));
+      BRYQL_RETURN_NOT_OK(CheckKeys(keys_, l, r, ExprKindName(kind_)));
+      return l;
+    }
+    case ExprKind::kOuterJoin: {
+      BRYQL_ASSIGN_OR_RETURN(size_t l, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t r, right()->Arity(db));
+      BRYQL_RETURN_NOT_OK(CheckKeys(keys_, l, r, "OuterJoin"));
+      BRYQL_RETURN_NOT_OK(CheckPredicate(predicate_, l, "OuterJoin"));
+      return l + r;
+    }
+    case ExprKind::kMarkJoin: {
+      BRYQL_ASSIGN_OR_RETURN(size_t l, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t r, right()->Arity(db));
+      BRYQL_RETURN_NOT_OK(CheckKeys(keys_, l, r, "MarkJoin"));
+      BRYQL_RETURN_NOT_OK(CheckPredicate(predicate_, l, "MarkJoin"));
+      return l + 1;
+    }
+    case ExprKind::kDivision: {
+      BRYQL_ASSIGN_OR_RETURN(size_t p, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t q, right()->Arity(db));
+      // q == p yields an arity-0 (boolean) quotient: divisor ⊆ dividend.
+      if (q == 0 || q > p) {
+        return BadExpr("division arity " + std::to_string(p) + " ÷ " +
+                       std::to_string(q));
+      }
+      return p - q;
+    }
+    case ExprKind::kGroupDivision: {
+      BRYQL_ASSIGN_OR_RETURN(size_t p, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t q, right()->Arity(db));
+      size_t g = group_arity_;
+      // value arity k = q - g >= 1; dividend needs keep + group + value.
+      if (g == 0 || g >= q || p < q) {
+        return BadExpr("group division arity " + std::to_string(p) + " ÷ " +
+                       std::to_string(q) + " with group " +
+                       std::to_string(g));
+      }
+      return p - (q - g);
+    }
+    case ExprKind::kGroupCount: {
+      BRYQL_ASSIGN_OR_RETURN(size_t a, child()->Arity(db));
+      if (group_arity_ > a) {
+        return BadExpr("group count over " + std::to_string(group_arity_) +
+                       " columns of arity " + std::to_string(a));
+      }
+      return group_arity_ + 1;
+    }
+    case ExprKind::kUnion:
+    case ExprKind::kDifference:
+    case ExprKind::kIntersect: {
+      BRYQL_ASSIGN_OR_RETURN(size_t l, left()->Arity(db));
+      BRYQL_ASSIGN_OR_RETURN(size_t r, right()->Arity(db));
+      if (l != r) {
+        return BadExpr(std::string(ExprKindName(kind_)) +
+                       " of mismatched arities " + std::to_string(l) +
+                       " and " + std::to_string(r));
+      }
+      return l;
+    }
+    case ExprKind::kNonEmpty: {
+      BRYQL_ASSIGN_OR_RETURN(size_t a, child()->Arity(db));
+      (void)a;
+      return 0;
+    }
+    case ExprKind::kBoolNot:
+    case ExprKind::kBoolAnd:
+    case ExprKind::kBoolOr: {
+      for (const ExprPtr& c : children_) {
+        BRYQL_ASSIGN_OR_RETURN(size_t a, c->Arity(db));
+        if (a != 0) {
+          return BadExpr(std::string(ExprKindName(kind_)) +
+                         " over non-boolean child of arity " +
+                         std::to_string(a));
+        }
+      }
+      return 0;
+    }
+  }
+  return BadExpr("unknown operator");
+}
+
+void Expr::AppendTree(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += ExprKindName(kind_);
+  switch (kind_) {
+    case ExprKind::kScan:
+      *out += " " + name_;
+      break;
+    case ExprKind::kLiteral:
+      *out += " [" + std::to_string(literal_.size()) + " tuples, arity " +
+              std::to_string(literal_.arity()) + "]";
+      break;
+    case ExprKind::kSelect:
+      *out += " " + predicate_->ToString();
+      break;
+    case ExprKind::kProject: {
+      *out += " [";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += "$" + std::to_string(columns_[i]);
+      }
+      *out += "]";
+      break;
+    }
+    case ExprKind::kGroupDivision:
+    case ExprKind::kGroupCount:
+      *out += " group=" + std::to_string(group_arity_);
+      break;
+    default:
+      break;
+  }
+  if (!keys_.empty()) {
+    *out += " on ";
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (i > 0) *out += " & ";
+      *out += "$" + std::to_string(keys_[i].left) + "=$" +
+              std::to_string(keys_[i].right);
+    }
+  }
+  if (predicate_ != nullptr && kind_ != ExprKind::kSelect) {
+    *out += " if " + predicate_->ToString();
+  }
+  *out += "\n";
+  for (const ExprPtr& c : children_) {
+    c->AppendTree(out, indent + 1);
+  }
+}
+
+std::string Expr::ToString() const {
+  std::string out;
+  AppendTree(&out, 0);
+  return out;
+}
+
+size_t Expr::Size() const {
+  size_t n = 1;
+  for (const ExprPtr& c : children_) n += c->Size();
+  return n;
+}
+
+}  // namespace bryql

@@ -1,0 +1,148 @@
+#ifndef BRYQL_ALGEBRA_EXPR_H_
+#define BRYQL_ALGEBRA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algebra/predicate.h"
+#include "common/result.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace bryql {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// One equi-join condition `left column = right column` ("i = j" in the
+/// paper's conj notation, 0-indexed).
+struct JoinKey {
+  size_t left;
+  size_t right;
+};
+
+/// Relational algebra operators. Arity-0 relations encode booleans
+/// ({()} = true, {} = false), so closed queries are algebra expressions
+/// too — the paper's "non-emptiness test" extension of §3.2.
+enum class ExprKind {
+  kScan,      // base relation by name
+  kLiteral,   // inline relation (tests, generated data)
+  kSelect,    // σ_pred
+  kProject,   // π_cols (set semantics: duplicates collapse)
+  kProduct,   // ×
+  kJoin,      // ⋈_keys (inner equi-join, concatenated output)
+  kSemiJoin,  // ⋉_keys (left tuples with a partner)
+  kAntiJoin,  // the paper's complement-join ⊼_keys (Definition 6):
+              // left tuples with no partner
+  kOuterJoin,  // unidirectional (left) outer join: arity p+q, unmatched
+               // left tuples padded with ∅; an optional constraint
+               // predicate on the left tuple guards probing (Definition 7
+               // generalized to keep right values, cf. Figures 2/3)
+  kMarkJoin,   // the paper's constrained outer-join (Definition 7) exactly:
+               // arity p+1; last column ⊥ when the constraint holds and a
+               // partner exists, ∅ otherwise
+  kDivision,   // ÷: child0 arity p, child1 arity q; result = tuples t of
+               // the first p-q columns with {t}×child1 ⊆ child0
+  kGroupDivision,  // per-group division — the exact form of the paper's
+                   // case-5 expression when the inner range depends on
+                   // outer variables. Dividend D = [keep..., group...,
+                   // value...], divisor T = [group..., value...]; result =
+                   // {(keep, group) | group ∈ π(T) ∧ ∀ value: (group,
+                   // value) ∈ T → (keep, group, value) ∈ D}
+  kGroupCount,  // γ: groups the input by its first `group_arity` columns
+                // and appends the per-group row count; arity g+1. With
+                // group_arity 0, one row holding the total count. Exists
+                // for the Quel baseline of §1, which expresses universal
+                // quantification by comparing counts.
+  kUnion,
+  kDifference,
+  kIntersect,
+  kNonEmpty,  // relation → boolean: {()} iff child is non-empty; evaluated
+              // with early termination (§3.2)
+  kBoolNot,   // boolean complement (arity-0 child)
+  kBoolAnd,   // short-circuit conjunction of booleans
+  kBoolOr,    // short-circuit disjunction of booleans
+};
+
+const char* ExprKindName(ExprKind kind);
+
+/// An immutable algebra expression tree. Build via the factories; evaluate
+/// with exec::Evaluate; print with ToString() (an EXPLAIN-style tree).
+class Expr {
+ public:
+  static ExprPtr Scan(std::string relation_name);
+  static ExprPtr Literal(Relation relation);
+  static ExprPtr Select(ExprPtr child, PredicatePtr predicate);
+  static ExprPtr Project(ExprPtr child, std::vector<size_t> columns);
+  static ExprPtr Product(ExprPtr left, ExprPtr right);
+  /// `residual` (optional) is evaluated on the concatenated tuple.
+  static ExprPtr Join(ExprPtr left, ExprPtr right, std::vector<JoinKey> keys,
+                      PredicatePtr residual = nullptr);
+  static ExprPtr SemiJoin(ExprPtr left, ExprPtr right,
+                          std::vector<JoinKey> keys);
+  static ExprPtr AntiJoin(ExprPtr left, ExprPtr right,
+                          std::vector<JoinKey> keys);
+  /// `constraint` (optional) is evaluated on the left tuple; rows failing
+  /// it are not probed and pad with ∅ (third clause of Definition 7).
+  static ExprPtr OuterJoin(ExprPtr left, ExprPtr right,
+                           std::vector<JoinKey> keys,
+                           PredicatePtr constraint = nullptr);
+  static ExprPtr MarkJoin(ExprPtr left, ExprPtr right,
+                          std::vector<JoinKey> keys,
+                          PredicatePtr constraint = nullptr);
+  static ExprPtr Division(ExprPtr dividend, ExprPtr divisor);
+  /// `group_arity` leading columns of the divisor (and the matching
+  /// middle columns of the dividend) are the group key.
+  static ExprPtr GroupDivision(ExprPtr dividend, ExprPtr divisor,
+                               size_t group_arity);
+  static ExprPtr GroupCount(ExprPtr child, size_t group_arity);
+  static ExprPtr Union(ExprPtr left, ExprPtr right);
+  static ExprPtr Difference(ExprPtr left, ExprPtr right);
+  static ExprPtr Intersect(ExprPtr left, ExprPtr right);
+  static ExprPtr NonEmpty(ExprPtr child);
+  static ExprPtr BoolNot(ExprPtr child);
+  static ExprPtr BoolAnd(std::vector<ExprPtr> children);
+  static ExprPtr BoolOr(std::vector<ExprPtr> children);
+
+  ExprKind kind() const { return kind_; }
+  const std::string& relation_name() const { return name_; }
+  const Relation& literal() const { return literal_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  const ExprPtr& child() const { return children_[0]; }
+  const ExprPtr& left() const { return children_[0]; }
+  const ExprPtr& right() const { return children_[1]; }
+  const PredicatePtr& predicate() const { return predicate_; }
+  const PredicatePtr& constraint() const { return predicate_; }
+  const std::vector<size_t>& columns() const { return columns_; }
+  const std::vector<JoinKey>& keys() const { return keys_; }
+  size_t group_arity() const { return group_arity_; }
+
+  /// Output arity given the catalog; validates column/key bounds along the
+  /// way, returning kInvalidArgument on any inconsistency.
+  Result<size_t> Arity(const Database& db) const;
+
+  /// Multi-line EXPLAIN-style tree, two-space indented.
+  std::string ToString() const;
+
+  /// Number of operator nodes.
+  size_t Size() const;
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind), literal_(0) {}
+
+  void AppendTree(std::string* out, int indent) const;
+
+  ExprKind kind_;
+  std::string name_;
+  Relation literal_;
+  std::vector<ExprPtr> children_;
+  PredicatePtr predicate_;
+  std::vector<size_t> columns_;
+  std::vector<JoinKey> keys_;
+  size_t group_arity_ = 0;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_ALGEBRA_EXPR_H_

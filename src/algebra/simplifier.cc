@@ -1,0 +1,213 @@
+#include "algebra/simplifier.h"
+
+namespace bryql {
+
+namespace {
+
+bool IsEmptyLiteral(const ExprPtr& e) {
+  return e->kind() == ExprKind::kLiteral && e->literal().empty();
+}
+
+/// True / false when the predicate is statically known.
+enum class Truth { kTrue, kFalse, kUnknown };
+
+Truth StaticTruth(const PredicatePtr& p) {
+  switch (p->kind()) {
+    case Predicate::Kind::kTrue:
+      return Truth::kTrue;
+    case Predicate::Kind::kNot: {
+      Truth t = StaticTruth(p->children()[0]);
+      if (t == Truth::kTrue) return Truth::kFalse;
+      if (t == Truth::kFalse) return Truth::kTrue;
+      return Truth::kUnknown;
+    }
+    case Predicate::Kind::kAnd: {
+      bool all_true = true;
+      for (const PredicatePtr& c : p->children()) {
+        Truth t = StaticTruth(c);
+        if (t == Truth::kFalse) return Truth::kFalse;
+        all_true &= t == Truth::kTrue;
+      }
+      return all_true ? Truth::kTrue : Truth::kUnknown;
+    }
+    case Predicate::Kind::kOr: {
+      bool all_false = true;
+      for (const PredicatePtr& c : p->children()) {
+        Truth t = StaticTruth(c);
+        if (t == Truth::kTrue) return Truth::kTrue;
+        all_false &= t == Truth::kFalse;
+      }
+      return all_false ? Truth::kFalse : Truth::kUnknown;
+    }
+    default:
+      return Truth::kUnknown;
+  }
+}
+
+Result<ExprPtr> EmptyOfSameArity(const ExprPtr& e, const Database& db) {
+  BRYQL_ASSIGN_OR_RETURN(size_t arity, e->Arity(db));
+  return Expr::Literal(Relation(arity));
+}
+
+/// One bottom-up pass; sets *changed when a rewrite fired.
+Result<ExprPtr> Pass(const ExprPtr& e, const Database& db, bool* changed) {
+  // Simplify children first.
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->children().size());
+  bool child_changed = false;
+  for (const ExprPtr& c : e->children()) {
+    BRYQL_ASSIGN_OR_RETURN(ExprPtr nc, Pass(c, db, &child_changed));
+    kids.push_back(std::move(nc));
+  }
+  auto rebuilt = [&]() -> ExprPtr {
+    if (!child_changed) return e;
+    switch (e->kind()) {
+      case ExprKind::kSelect:
+        return Expr::Select(kids[0], e->predicate());
+      case ExprKind::kProject:
+        return Expr::Project(kids[0], e->columns());
+      case ExprKind::kProduct:
+        return Expr::Product(kids[0], kids[1]);
+      case ExprKind::kJoin:
+        return Expr::Join(kids[0], kids[1], e->keys(), e->predicate());
+      case ExprKind::kSemiJoin:
+        return Expr::SemiJoin(kids[0], kids[1], e->keys());
+      case ExprKind::kAntiJoin:
+        return Expr::AntiJoin(kids[0], kids[1], e->keys());
+      case ExprKind::kOuterJoin:
+        return Expr::OuterJoin(kids[0], kids[1], e->keys(), e->constraint());
+      case ExprKind::kMarkJoin:
+        return Expr::MarkJoin(kids[0], kids[1], e->keys(), e->constraint());
+      case ExprKind::kDivision:
+        return Expr::Division(kids[0], kids[1]);
+      case ExprKind::kGroupDivision:
+        return Expr::GroupDivision(kids[0], kids[1], e->group_arity());
+      case ExprKind::kGroupCount:
+        return Expr::GroupCount(kids[0], e->group_arity());
+      case ExprKind::kUnion:
+        return Expr::Union(kids[0], kids[1]);
+      case ExprKind::kDifference:
+        return Expr::Difference(kids[0], kids[1]);
+      case ExprKind::kIntersect:
+        return Expr::Intersect(kids[0], kids[1]);
+      case ExprKind::kNonEmpty:
+        return Expr::NonEmpty(kids[0]);
+      case ExprKind::kBoolNot:
+        return Expr::BoolNot(kids[0]);
+      case ExprKind::kBoolAnd:
+        return Expr::BoolAnd(kids);
+      case ExprKind::kBoolOr:
+        return Expr::BoolOr(kids);
+      default:
+        return e;
+    }
+  }();
+  *changed |= child_changed;
+
+  const ExprPtr& node = rebuilt;
+  switch (node->kind()) {
+    case ExprKind::kSelect: {
+      Truth t = StaticTruth(node->predicate());
+      if (t == Truth::kTrue) {
+        *changed = true;
+        return node->child();
+      }
+      if (t == Truth::kFalse || IsEmptyLiteral(node->child())) {
+        *changed = true;
+        return EmptyOfSameArity(node, db);
+      }
+      if (node->child()->kind() == ExprKind::kSelect) {
+        *changed = true;
+        return Expr::Select(node->child()->child(),
+                            Predicate::And({node->child()->predicate(),
+                                            node->predicate()}));
+      }
+      return node;
+    }
+    case ExprKind::kProject: {
+      // Identity projection.
+      BRYQL_ASSIGN_OR_RETURN(size_t child_arity,
+                             node->child()->Arity(db));
+      bool identity = node->columns().size() == child_arity;
+      for (size_t i = 0; identity && i < node->columns().size(); ++i) {
+        identity = node->columns()[i] == i;
+      }
+      if (identity) {
+        *changed = true;
+        return node->child();
+      }
+      if (node->child()->kind() == ExprKind::kProject) {
+        std::vector<size_t> composed;
+        composed.reserve(node->columns().size());
+        for (size_t c : node->columns()) {
+          composed.push_back(node->child()->columns()[c]);
+        }
+        *changed = true;
+        return Expr::Project(node->child()->child(), std::move(composed));
+      }
+      if (IsEmptyLiteral(node->child())) {
+        *changed = true;
+        return EmptyOfSameArity(node, db);
+      }
+      return node;
+    }
+    case ExprKind::kProduct:
+    case ExprKind::kJoin:
+    case ExprKind::kSemiJoin:
+    case ExprKind::kIntersect: {
+      if (IsEmptyLiteral(node->left()) || IsEmptyLiteral(node->right())) {
+        *changed = true;
+        return EmptyOfSameArity(node, db);
+      }
+      return node;
+    }
+    case ExprKind::kAntiJoin:
+    case ExprKind::kDifference: {
+      if (IsEmptyLiteral(node->right())) {
+        *changed = true;
+        return node->left();
+      }
+      if (IsEmptyLiteral(node->left())) {
+        *changed = true;
+        return EmptyOfSameArity(node, db);
+      }
+      return node;
+    }
+    case ExprKind::kUnion: {
+      if (IsEmptyLiteral(node->right())) {
+        *changed = true;
+        return node->left();
+      }
+      if (IsEmptyLiteral(node->left())) {
+        *changed = true;
+        return node->right();
+      }
+      return node;
+    }
+    case ExprKind::kNonEmpty: {
+      if (IsEmptyLiteral(node->child())) {
+        *changed = true;
+        return Expr::NonEmpty(Expr::Literal(Relation(0)));
+      }
+      return node;
+    }
+    default:
+      return node;
+  }
+}
+
+}  // namespace
+
+Result<ExprPtr> SimplifyPlan(const ExprPtr& expr, const Database& db) {
+  BRYQL_RETURN_NOT_OK(expr->Arity(db).status());
+  ExprPtr current = expr;
+  for (int round = 0; round < 64; ++round) {
+    bool changed = false;
+    BRYQL_ASSIGN_OR_RETURN(ExprPtr next, Pass(current, db, &changed));
+    current = std::move(next);
+    if (!changed) return current;
+  }
+  return current;
+}
+
+}  // namespace bryql

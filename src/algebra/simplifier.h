@@ -1,0 +1,27 @@
+#ifndef BRYQL_ALGEBRA_SIMPLIFIER_H_
+#define BRYQL_ALGEBRA_SIMPLIFIER_H_
+
+#include "algebra/expr.h"
+#include "common/result.h"
+#include "storage/database.h"
+
+namespace bryql {
+
+/// Algebraic plan cleanup, applied bottom-up until stable:
+///
+///   * identity projections vanish; nested projections compose;
+///   * σ_true vanishes; σ_false folds to an empty literal; nested
+///     selections merge into one conjunction;
+///   * operators with a statically empty input fold where sound
+///     (⋈/⋉/× with an empty side → empty; ⊼/−/∪ with an empty right
+///     side → left);
+///   * boolean connectives fold over statically known literals.
+///
+/// Simplification never changes results — exec/simplifier tests verify
+/// plans evaluate identically before and after. `db` is used only for
+/// arity validation of fabricated empty literals.
+Result<ExprPtr> SimplifyPlan(const ExprPtr& expr, const Database& db);
+
+}  // namespace bryql
+
+#endif  // BRYQL_ALGEBRA_SIMPLIFIER_H_

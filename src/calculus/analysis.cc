@@ -1,0 +1,219 @@
+#include "calculus/analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace bryql {
+
+namespace {
+
+/// A quantifier occurrence at the top level of a scope: not nested inside
+/// another quantifier of that scope.
+struct TopQuantifier {
+  const Formula* node;
+  int parity;  // negations between the scope root and this occurrence
+};
+
+/// Collects quantifier occurrences not nested under another quantifier,
+/// tracking negation parity. The left-hand side of an implication counts as
+/// an implicit negation; both sides of an equivalence are visited at both
+/// parities (a ⇔ contains implicit negations in both directions).
+void CollectTopQuantifiers(const FormulaPtr& f, int parity,
+                           std::vector<TopQuantifier>* out) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      out->push_back({f.get(), parity});
+      return;
+    case FormulaKind::kNot:
+      CollectTopQuantifiers(f->child(), parity + 1, out);
+      return;
+    case FormulaKind::kImplies:
+      CollectTopQuantifiers(f->children()[0], parity + 1, out);
+      CollectTopQuantifiers(f->children()[1], parity, out);
+      return;
+    case FormulaKind::kIff:
+      for (const FormulaPtr& c : f->children()) {
+        CollectTopQuantifiers(c, parity, out);
+        CollectTopQuantifiers(c, parity + 1, out);
+      }
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      for (const FormulaPtr& c : f->children()) {
+        CollectTopQuantifiers(c, parity, out);
+      }
+      return;
+  }
+}
+
+/// True when some atom of `f` mentions a variable from `a` and a variable
+/// from `b` (condition 3 of the directly-governs definition).
+bool SomeAtomLinks(const FormulaPtr& f, const std::set<std::string>& a,
+                   const std::set<std::string>& b) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare: {
+      bool hits_a = false, hits_b = false;
+      for (const Term& t : f->terms()) {
+        if (!t.is_variable()) continue;
+        hits_a |= a.count(t.var()) != 0;
+        hits_b |= b.count(t.var()) != 0;
+      }
+      return hits_a && hits_b;
+    }
+    default:
+      for (const FormulaPtr& c : f->children()) {
+        if (SomeAtomLinks(c, a, b)) return true;
+      }
+      return false;
+  }
+}
+
+std::set<std::string> GovernedImpl(const std::set<std::string>& xs,
+                                   FormulaKind root_kind,
+                                   const FormulaPtr& scope) {
+  std::set<std::string> governed;
+  std::vector<TopQuantifier> tops;
+  CollectTopQuantifiers(scope, 0, &tops);
+  for (const TopQuantifier& q : tops) {
+    // Effective quantifier of this occurrence, seen from the scope root:
+    // odd negation parity flips ∃ and ∀ (∀ ≡ ¬∃¬).
+    FormulaKind syntactic = q.node->kind();
+    FormulaKind effective =
+        (q.parity % 2 == 0)
+            ? syntactic
+            : (syntactic == FormulaKind::kExists ? FormulaKind::kForall
+                                                 : FormulaKind::kExists);
+    // Condition 4: distinct quantifiers.
+    if (effective == root_kind) continue;
+    FormulaPtr body = q.node->children()[0];
+    for (const std::string& y : q.node->vars()) {
+      // y's own governed set, computed within y's scope.
+      std::set<std::string> g_y = GovernedImpl({y}, effective, body);
+      g_y.insert(y);
+      // Condition 3: some atom of the scope links xs with {y} ∪ governed(y).
+      if (SomeAtomLinks(scope, xs, g_y)) {
+        governed.insert(g_y.begin(), g_y.end());
+      }
+    }
+  }
+  return governed;
+}
+
+/// True when some atom in `f` has all of its variables outside `bound`
+/// (possibly none at all). With `inner_bound_counts` set (the Definition 4
+/// reading), variables bound by quantifiers inside `f` also block their
+/// atoms; without it (the condition (†) reading), only `bound` blocks.
+bool HasAtomDisjointFrom(const FormulaPtr& f, std::set<std::string>& bound,
+                         bool inner_bound_counts) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare: {
+      for (const Term& t : f->terms()) {
+        if (t.is_variable() && bound.count(t.var())) return false;
+      }
+      return true;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      if (!inner_bound_counts) {
+        return HasAtomDisjointFrom(f->child(), bound, inner_bound_counts);
+      }
+      std::vector<std::string> added;
+      for (const std::string& v : f->vars()) {
+        if (bound.insert(v).second) added.push_back(v);
+      }
+      bool result = HasAtomDisjointFrom(f->child(), bound, inner_bound_counts);
+      for (const std::string& v : added) bound.erase(v);
+      return result;
+    }
+    default:
+      for (const FormulaPtr& c : f->children()) {
+        if (HasAtomDisjointFrom(c, bound, inner_bound_counts)) return true;
+      }
+      return false;
+  }
+}
+
+}  // namespace
+
+std::set<std::string> GovernedVariables(const std::vector<std::string>& xs,
+                                        const FormulaPtr& scope) {
+  return GovernedImpl(std::set<std::string>(xs.begin(), xs.end()),
+                      FormulaKind::kExists, scope);
+}
+
+bool HasEscapableAtom(const std::vector<std::string>& xs,
+                      const FormulaPtr& scope) {
+  std::set<std::string> blocked(xs.begin(), xs.end());
+  std::set<std::string> governed = GovernedVariables(xs, scope);
+  blocked.insert(governed.begin(), governed.end());
+  return HasAtomDisjointFrom(scope, blocked, /*inner_bound_counts=*/false);
+}
+
+bool HasAtomClearOf(const FormulaPtr& f,
+                    const std::set<std::string>& blocked) {
+  std::set<std::string> mutable_blocked = blocked;
+  return HasAtomDisjointFrom(f, mutable_blocked, /*inner_bound_counts=*/false);
+}
+
+FormulaPtr SortAC(const FormulaPtr& f) {
+  if (f->children().empty()) return f;
+  std::vector<FormulaPtr> children;
+  children.reserve(f->children().size());
+  for (const FormulaPtr& c : f->children()) children.push_back(SortAC(c));
+  switch (f->kind()) {
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::sort(children.begin(), children.end(),
+                [](const FormulaPtr& a, const FormulaPtr& b) {
+                  return a->ToString() < b->ToString();
+                });
+      return f->kind() == FormulaKind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kNot:
+      return Formula::Not(children[0]);
+    case FormulaKind::kImplies:
+      return Formula::Implies(children[0], children[1]);
+    case FormulaKind::kIff:
+      return Formula::Iff(children[0], children[1]);
+    case FormulaKind::kExists:
+      return Formula::Exists(f->vars(), children[0]);
+    case FormulaKind::kForall:
+      return Formula::Forall(f->vars(), children[0]);
+    default:
+      return f;
+  }
+}
+
+bool IsMiniscope(const FormulaPtr& f) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      return true;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // Definition 4: no atom of the body may mention only variables bound
+      // outside this quantification. Variables bound by this quantifier or
+      // by nested ones count as "inside".
+      std::set<std::string> bound(f->vars().begin(), f->vars().end());
+      if (HasAtomDisjointFrom(f->child(), bound, /*inner_bound_counts=*/true)) {
+        return false;
+      }
+      return IsMiniscope(f->child());
+    }
+    default:
+      for (const FormulaPtr& c : f->children()) {
+        if (!IsMiniscope(c)) return false;
+      }
+      return true;
+  }
+}
+
+}  // namespace bryql

@@ -1,0 +1,56 @@
+#ifndef BRYQL_CALCULUS_ANALYSIS_H_
+#define BRYQL_CALCULUS_ANALYSIS_H_
+
+#include <set>
+#include <string>
+
+#include "calculus/formula.h"
+
+namespace bryql {
+
+/// Returns the variables *governed by* any of the variables `xs` quantified
+/// at the root of `scope` (§1 of the paper).
+///
+/// A quantified variable x directly governs a variable y quantified in x's
+/// scope when (1) y's quantification follows immediately that of x, (2) some
+/// atom of the scope contains x together with y or with a variable governed
+/// by y, and (3) x and y have distinct quantifiers. Governs is the
+/// transitive closure. Intuitively, x governs y iff moving y's
+/// quantification out of x's scope could change the query's meaning.
+///
+/// Because normalization rewrites ∀ into ¬∃ (Rules 4/5) and the rule system
+/// is order-independent, "distinct quantifiers" is evaluated on the
+/// *effective* quantifier: an ∃ under an odd number of negations counts as
+/// a ∀ and vice versa. On formulas that still contain explicit ∀ this
+/// coincides with the paper's literal definition.
+std::set<std::string> GovernedVariables(const std::vector<std::string>& xs,
+                                        const FormulaPtr& scope);
+
+/// True when `scope` (the body of a quantifier over `xs`) contains an
+/// atomic subformula mentioning none of `xs` and none of the variables they
+/// govern — i.e. the quantification is not yet in miniscope form here
+/// (Definition 4), and condition (†) of Rules 10/11 holds.
+bool HasEscapableAtom(const std::vector<std::string>& xs,
+                      const FormulaPtr& scope);
+
+/// True when some atom (anywhere) in `f` mentions no variable of `blocked`.
+/// This is the raw atom test behind condition (†); callers that need the
+/// paper's exact condition must put both the quantified variables and their
+/// governed variables (computed over the full scope) into `blocked`.
+bool HasAtomClearOf(const FormulaPtr& f,
+                    const std::set<std::string>& blocked);
+
+/// Rewrites `f` with the children of every And/Or sorted into a canonical
+/// order. Two formulas equal modulo associativity/commutativity of ∧ and ∨
+/// have Formula::Equal canonical forms. Used by the confluence tests, since
+/// different rule orders may emit conjuncts/disjuncts in different orders.
+FormulaPtr SortAC(const FormulaPtr& f);
+
+/// True when the whole formula is in miniscope form (Definition 4): no
+/// quantified subformula contains an atom in which only variables
+/// quantified outside it occur.
+bool IsMiniscope(const FormulaPtr& f);
+
+}  // namespace bryql
+
+#endif  // BRYQL_CALCULUS_ANALYSIS_H_

@@ -1,0 +1,402 @@
+#include "calculus/formula.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bryql {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+FormulaPtr Formula::Atom(std::string predicate, std::vector<Term> terms) {
+  auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kAtom));
+  f->predicate_ = std::move(predicate);
+  f->terms_ = std::move(terms);
+  return f;
+}
+
+FormulaPtr Formula::Compare(CompareOp op, Term lhs, Term rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kCompare));
+  f->compare_op_ = op;
+  f->terms_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr child) {
+  auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kNot));
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::MakeNary(FormulaKind kind,
+                             std::vector<FormulaPtr> children) {
+  assert(!children.empty());
+  std::vector<FormulaPtr> flat;
+  for (FormulaPtr& c : children) {
+    assert(c != nullptr);
+    if (c->kind() == kind) {
+      flat.insert(flat.end(), c->children().begin(), c->children().end());
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (flat.size() == 1) return flat.front();
+  auto f = std::shared_ptr<Formula>(new Formula(kind));
+  f->children_ = std::move(flat);
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> children) {
+  return MakeNary(FormulaKind::kAnd, std::move(children));
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> children) {
+  return MakeNary(FormulaKind::kOr, std::move(children));
+}
+
+FormulaPtr Formula::Implies(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kImplies));
+  f->children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::Iff(FormulaPtr lhs, FormulaPtr rhs) {
+  auto f = std::shared_ptr<Formula>(new Formula(FormulaKind::kIff));
+  f->children_ = {std::move(lhs), std::move(rhs)};
+  return f;
+}
+
+FormulaPtr Formula::MakeQuantifier(FormulaKind kind,
+                                   std::vector<std::string> vars,
+                                   FormulaPtr body) {
+  assert(!vars.empty());
+  // Merge ∃x(∃y F) into ∃x y F — the paper's shorthand, where variable
+  // order is irrelevant. Deduplicate variables (inner binding shadows, so a
+  // repeated name binds once).
+  if (body->kind() == kind) {
+    for (const std::string& v : body->vars()) vars.push_back(v);
+    body = body->child();
+  }
+  std::vector<std::string> unique_vars;
+  for (std::string& v : vars) {
+    if (std::find(unique_vars.begin(), unique_vars.end(), v) ==
+        unique_vars.end()) {
+      unique_vars.push_back(std::move(v));
+    }
+  }
+  auto f = std::shared_ptr<Formula>(new Formula(kind));
+  f->vars_ = std::move(unique_vars);
+  f->children_ = {std::move(body)};
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::vector<std::string> vars, FormulaPtr body) {
+  return MakeQuantifier(FormulaKind::kExists, std::move(vars),
+                        std::move(body));
+}
+
+FormulaPtr Formula::Forall(std::vector<std::string> vars, FormulaPtr body) {
+  return MakeQuantifier(FormulaKind::kForall, std::move(vars),
+                        std::move(body));
+}
+
+namespace {
+
+void CollectFree(const Formula& f, std::vector<std::string>* order,
+                 std::set<std::string>* seen,
+                 std::set<std::string>* bound) {
+  auto visit_term = [&](const Term& t) {
+    if (t.is_variable() && !bound->count(t.var()) && !seen->count(t.var())) {
+      seen->insert(t.var());
+      order->push_back(t.var());
+    }
+  };
+  switch (f.kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      for (const Term& t : f.terms()) visit_term(t);
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::vector<std::string> newly_bound;
+      for (const std::string& v : f.vars()) {
+        if (bound->insert(v).second) newly_bound.push_back(v);
+      }
+      CollectFree(*f.child(), order, seen, bound);
+      for (const std::string& v : newly_bound) bound->erase(v);
+      return;
+    }
+    default:
+      for (const FormulaPtr& c : f.children()) {
+        CollectFree(*c, order, seen, bound);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> Formula::FreeVariables() const {
+  std::vector<std::string> order;
+  std::set<std::string> seen, bound;
+  CollectFree(*this, &order, &seen, &bound);
+  return order;
+}
+
+std::set<std::string> Formula::FreeVariableSet() const {
+  std::vector<std::string> order = FreeVariables();
+  return std::set<std::string>(order.begin(), order.end());
+}
+
+std::set<std::string> Formula::AllVariables() const {
+  std::set<std::string> all;
+  switch (kind_) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      for (const Term& t : terms_) {
+        if (t.is_variable()) all.insert(t.var());
+      }
+      return all;
+    default: {
+      for (const std::string& v : vars_) all.insert(v);
+      for (const FormulaPtr& c : children_) {
+        std::set<std::string> sub = c->AllVariables();
+        all.insert(sub.begin(), sub.end());
+      }
+      return all;
+    }
+  }
+}
+
+size_t Formula::Size() const {
+  size_t n = 1;
+  for (const FormulaPtr& c : children_) n += c->Size();
+  return n;
+}
+
+namespace {
+
+/// Precedence levels for printing: higher binds tighter.
+int Precedence(FormulaKind kind) {
+  switch (kind) {
+    case FormulaKind::kIff:
+      return 1;
+    case FormulaKind::kImplies:
+      return 2;
+    case FormulaKind::kOr:
+      return 3;
+    case FormulaKind::kAnd:
+      return 4;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      return 5;
+    case FormulaKind::kNot:
+      return 6;
+    default:
+      return 7;
+  }
+}
+
+}  // namespace
+
+void Formula::AppendTo(std::string* out, int parent_precedence) const {
+  int prec = Precedence(kind_);
+  bool parens = prec < parent_precedence;
+  // A quantifier's scope extends maximally to the right, so it must be
+  // parenthesized under any connective, and its body never needs parens.
+  if (is_quantifier()) parens = parent_precedence > 0;
+  if (parens) *out += "(";
+  switch (kind_) {
+    case FormulaKind::kAtom: {
+      *out += predicate_ + "(";
+      for (size_t i = 0; i < terms_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += terms_[i].ToString();
+      }
+      *out += ")";
+      break;
+    }
+    case FormulaKind::kCompare:
+      *out += terms_[0].ToString();
+      *out += " ";
+      *out += CompareOpName(compare_op_);
+      *out += " ";
+      *out += terms_[1].ToString();
+      break;
+    case FormulaKind::kNot:
+      *out += "~";
+      children_[0]->AppendTo(out, prec + 1);
+      break;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      const char* sep = kind_ == FormulaKind::kAnd ? " & " : " | ";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) *out += sep;
+        children_[i]->AppendTo(out, prec + 1);
+      }
+      break;
+    }
+    case FormulaKind::kImplies:
+      children_[0]->AppendTo(out, prec + 1);
+      *out += " -> ";
+      children_[1]->AppendTo(out, prec);
+      break;
+    case FormulaKind::kIff:
+      children_[0]->AppendTo(out, prec + 1);
+      *out += " <-> ";
+      children_[1]->AppendTo(out, prec + 1);
+      break;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      *out += kind_ == FormulaKind::kExists ? "exists" : "forall";
+      for (const std::string& v : vars_) {
+        *out += " " + v;
+      }
+      *out += ": ";
+      children_[0]->AppendTo(out, 0);
+      break;
+    }
+  }
+  if (parens) *out += ")";
+}
+
+std::string Formula::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+bool Formula::Equal(const FormulaPtr& a, const FormulaPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  if (a->predicate_ != b->predicate_) return false;
+  if (a->compare_op_ != b->compare_op_) return false;
+  if (a->terms_ != b->terms_) return false;
+  if (a->vars_.size() != b->vars_.size()) return false;
+  // Quantified variable lists compare as sets: the paper's shorthand makes
+  // the order of like-quantified variables irrelevant.
+  if (!a->vars_.empty()) {
+    std::vector<std::string> av = a->vars_, bv = b->vars_;
+    std::sort(av.begin(), av.end());
+    std::sort(bv.begin(), bv.end());
+    if (av != bv) return false;
+  }
+  if (a->children_.size() != b->children_.size()) return false;
+  for (size_t i = 0; i < a->children_.size(); ++i) {
+    if (!Equal(a->children_[i], b->children_[i])) return false;
+  }
+  return true;
+}
+
+size_t Formula::Hash(const FormulaPtr& f) {
+  if (f == nullptr) return 0;
+  size_t h = HashCombine(0x517cc1b7, static_cast<size_t>(f->kind_));
+  h = HashCombine(h, std::hash<std::string>{}(f->predicate_));
+  h = HashCombine(h, static_cast<size_t>(f->compare_op_));
+  for (const Term& t : f->terms_) h = HashCombine(h, t.Hash());
+  // Order-insensitive mix of quantified variable names.
+  size_t var_mix = 0;
+  for (const std::string& v : f->vars_) {
+    var_mix ^= std::hash<std::string>{}(v);
+  }
+  h = HashCombine(h, var_mix);
+  for (const FormulaPtr& c : f->children_) h = HashCombine(h, Hash(c));
+  return h;
+}
+
+FormulaPtr Substitute(const FormulaPtr& f,
+                      const std::map<std::string, Term>& bindings) {
+  if (bindings.empty()) return f;
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare: {
+      std::vector<Term> terms = f->terms();
+      bool changed = false;
+      for (Term& t : terms) {
+        if (t.is_variable()) {
+          auto it = bindings.find(t.var());
+          if (it != bindings.end()) {
+            t = it->second;
+            changed = true;
+          }
+        }
+      }
+      if (!changed) return f;
+      if (f->kind() == FormulaKind::kAtom) {
+        return Formula::Atom(f->predicate(), std::move(terms));
+      }
+      return Formula::Compare(f->compare_op(), terms[0], terms[1]);
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::map<std::string, Term> inner = bindings;
+      for (const std::string& v : f->vars()) inner.erase(v);
+      FormulaPtr body = Substitute(f->child(), inner);
+      if (body.get() == f->child().get()) return f;
+      return f->kind() == FormulaKind::kExists
+                 ? Formula::Exists(f->vars(), std::move(body))
+                 : Formula::Forall(f->vars(), std::move(body));
+    }
+    default: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children().size());
+      bool changed = false;
+      for (const FormulaPtr& c : f->children()) {
+        FormulaPtr nc = Substitute(c, bindings);
+        changed |= nc.get() != c.get();
+        children.push_back(std::move(nc));
+      }
+      if (!changed) return f;
+      switch (f->kind()) {
+        case FormulaKind::kNot:
+          return Formula::Not(children[0]);
+        case FormulaKind::kAnd:
+          return Formula::And(std::move(children));
+        case FormulaKind::kOr:
+          return Formula::Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Formula::Implies(children[0], children[1]);
+        case FormulaKind::kIff:
+          return Formula::Iff(children[0], children[1]);
+        default:
+          return f;
+      }
+    }
+  }
+}
+
+}  // namespace bryql

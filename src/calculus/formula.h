@@ -1,0 +1,145 @@
+#ifndef BRYQL_CALCULUS_FORMULA_H_
+#define BRYQL_CALCULUS_FORMULA_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/term.h"
+
+namespace bryql {
+
+class Formula;
+
+/// Formulas are immutable and shared: rewriting builds new trees that reuse
+/// unchanged subtrees.
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Comparison operators of the calculus (built-in predicates over terms).
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+/// The operator satisfied exactly when `op` is not, e.g. kEq -> kNe.
+CompareOp NegateCompareOp(CompareOp op);
+
+/// Node kinds of the domain-calculus AST.
+///
+/// And/Or are n-ary (>= 2 children, flattened on construction) because the
+/// miniscope and producer/filter rules (Rules 8-14) partition conjunct and
+/// disjunct *lists*; the paper states them on binary connectives, which
+/// n-ary nodes subsume up to associativity.
+enum class FormulaKind {
+  kAtom,     // R(t1, ..., tn)
+  kCompare,  // t1 op t2
+  kNot,      // ¬F
+  kAnd,      // F1 ∧ ... ∧ Fk
+  kOr,       // F1 ∨ ... ∨ Fk
+  kImplies,  // F1 ⇒ F2  (used only for universal ranges, cf. §1)
+  kIff,      // F1 ⇔ F2  (eliminated before normalization)
+  kExists,   // ∃x1...xn F
+  kForall,   // ∀x1...xn F
+};
+
+/// An immutable domain-calculus formula. Construct only through the static
+/// factories, which maintain the invariants: And/Or flatten nested nodes of
+/// the same kind and have >= 2 children; quantifiers have >= 1 variable and
+/// merge directly nested quantifiers of the same kind (the paper's
+/// ∃x1...xn shorthand, in which variable order is irrelevant).
+class Formula : public std::enable_shared_from_this<Formula> {
+ public:
+  static FormulaPtr Atom(std::string predicate, std::vector<Term> terms);
+  static FormulaPtr Compare(CompareOp op, Term lhs, Term rhs);
+  static FormulaPtr Not(FormulaPtr f);
+  /// Flattens nested kAnd children. `children.size() == 1` returns the child.
+  static FormulaPtr And(std::vector<FormulaPtr> children);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b) {
+    return And(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+  }
+  /// Flattens nested kOr children. `children.size() == 1` returns the child.
+  static FormulaPtr Or(std::vector<FormulaPtr> children);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b) {
+    return Or(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+  }
+  static FormulaPtr Implies(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Iff(FormulaPtr lhs, FormulaPtr rhs);
+  static FormulaPtr Exists(std::vector<std::string> vars, FormulaPtr body);
+  static FormulaPtr Forall(std::vector<std::string> vars, FormulaPtr body);
+
+  FormulaKind kind() const { return kind_; }
+
+  /// --- kAtom accessors ---
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// --- kCompare accessors ---
+  CompareOp compare_op() const { return compare_op_; }
+  const Term& lhs() const { return terms_[0]; }
+  const Term& rhs() const { return terms_[1]; }
+
+  /// --- connective accessors ---
+  const std::vector<FormulaPtr>& children() const { return children_; }
+  /// Single child of kNot, body of a quantifier.
+  const FormulaPtr& child() const { return children_[0]; }
+
+  /// --- quantifier accessors ---
+  const std::vector<std::string>& vars() const { return vars_; }
+
+  bool is_quantifier() const {
+    return kind_ == FormulaKind::kExists || kind_ == FormulaKind::kForall;
+  }
+  bool is_literal() const {
+    return kind_ == FormulaKind::kAtom || kind_ == FormulaKind::kCompare ||
+           (kind_ == FormulaKind::kNot &&
+            (child()->kind() == FormulaKind::kAtom ||
+             child()->kind() == FormulaKind::kCompare));
+  }
+
+  /// Free variables, in first-occurrence order (deterministic).
+  std::vector<std::string> FreeVariables() const;
+  /// Free variables as a set, for containment queries.
+  std::set<std::string> FreeVariableSet() const;
+  /// All variable names occurring anywhere (free or bound).
+  std::set<std::string> AllVariables() const;
+  /// Number of AST nodes; the rewrite engine uses it for progress checks.
+  size_t Size() const;
+
+  /// Infix rendering with minimal parentheses, using ASCII connectives:
+  /// `exists x y: p(x, y) & ~q(y)`.
+  std::string ToString() const;
+
+  /// Structural equality (variable names compared literally).
+  static bool Equal(const FormulaPtr& a, const FormulaPtr& b);
+  /// Hash consistent with Equal.
+  static size_t Hash(const FormulaPtr& f);
+
+ private:
+  explicit Formula(FormulaKind kind) : kind_(kind) {}
+
+  static FormulaPtr MakeNary(FormulaKind kind,
+                             std::vector<FormulaPtr> children);
+  static FormulaPtr MakeQuantifier(FormulaKind kind,
+                                   std::vector<std::string> vars,
+                                   FormulaPtr body);
+
+  void AppendTo(std::string* out, int parent_precedence) const;
+
+  FormulaKind kind_;
+  std::string predicate_;         // kAtom
+  std::vector<Term> terms_;       // kAtom args; kCompare lhs/rhs
+  CompareOp compare_op_ = CompareOp::kEq;
+  std::vector<FormulaPtr> children_;
+  std::vector<std::string> vars_;  // quantifiers
+};
+
+/// Substitutes free occurrences of variables by terms. Quantified
+/// occurrences shadow: substitution does not descend past a quantifier that
+/// rebinds the variable. No capture check is performed; callers substitute
+/// ground terms (constants) only, which can never be captured.
+FormulaPtr Substitute(const FormulaPtr& f,
+                      const std::map<std::string, Term>& bindings);
+
+}  // namespace bryql
+
+#endif  // BRYQL_CALCULUS_FORMULA_H_

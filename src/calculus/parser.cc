@@ -1,0 +1,448 @@
+#include "calculus/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace bryql {
+
+std::string Query::ToString() const {
+  if (closed()) return formula->ToString();
+  return "{ " + Join(targets, ", ") + " | " + formula->ToString() + " }";
+}
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kString,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kColon,
+  kPipe,      // '|', disambiguated to kOr inside formulas by the parser
+  kAmp,       // '&'
+  kTilde,     // '~' or '!'
+  kArrow,     // '->'
+  kDArrow,    // '<->'
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // ident/number/string payload
+  size_t pos = 0;    // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpace();
+      size_t pos = pos_;
+      if (pos_ >= text_.size()) {
+        tokens.push_back({TokenKind::kEnd, "", pos});
+        return tokens;
+      }
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '-')) {
+          ++pos_;
+        }
+        // A trailing '-' belongs to the next token (e.g. "x ->"), but a
+        // hyphenated name like "cs-lecture" keeps its interior dashes.
+        while (pos_ > start + 1 && text_[pos_ - 1] == '-') --pos_;
+        tokens.push_back(
+            {TokenKind::kIdent, std::string(text_.substr(start, pos_ - start)),
+             pos});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        size_t start = pos_;
+        ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.')) {
+          ++pos_;
+        }
+        tokens.push_back(
+            {TokenKind::kNumber,
+             std::string(text_.substr(start, pos_ - start)), pos});
+        continue;
+      }
+      switch (c) {
+        case '\'': {
+          size_t start = ++pos_;
+          while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+          if (pos_ >= text_.size()) {
+            return Status::InvalidArgument("unterminated string literal");
+          }
+          tokens.push_back(
+              {TokenKind::kString,
+               std::string(text_.substr(start, pos_ - start)), pos});
+          ++pos_;
+          continue;
+        }
+        case '(':
+          Push(&tokens, TokenKind::kLParen);
+          continue;
+        case ')':
+          Push(&tokens, TokenKind::kRParen);
+          continue;
+        case '{':
+          Push(&tokens, TokenKind::kLBrace);
+          continue;
+        case '}':
+          Push(&tokens, TokenKind::kRBrace);
+          continue;
+        case ',':
+          Push(&tokens, TokenKind::kComma);
+          continue;
+        case ':':
+          Push(&tokens, TokenKind::kColon);
+          continue;
+        case '|':
+          Push(&tokens, TokenKind::kPipe);
+          continue;
+        case '&':
+          Push(&tokens, TokenKind::kAmp);
+          continue;
+        case '~':
+          Push(&tokens, TokenKind::kTilde);
+          continue;
+        case '!':
+          if (Peek(1) == '=') {
+            Push(&tokens, TokenKind::kNe, 2);
+          } else {
+            Push(&tokens, TokenKind::kTilde);
+          }
+          continue;
+        case '-':
+          if (Peek(1) == '>') {
+            Push(&tokens, TokenKind::kArrow, 2);
+            continue;
+          }
+          return Status::InvalidArgument("stray '-' at offset " +
+                                         std::to_string(pos_));
+        case '<':
+          if (Peek(1) == '-' && Peek(2) == '>') {
+            Push(&tokens, TokenKind::kDArrow, 3);
+          } else if (Peek(1) == '=') {
+            Push(&tokens, TokenKind::kLe, 2);
+          } else if (Peek(1) == '>') {
+            Push(&tokens, TokenKind::kNe, 2);
+          } else {
+            Push(&tokens, TokenKind::kLt);
+          }
+          continue;
+        case '>':
+          if (Peek(1) == '=') {
+            Push(&tokens, TokenKind::kGe, 2);
+          } else {
+            Push(&tokens, TokenKind::kGt);
+          }
+          continue;
+        case '=':
+          Push(&tokens, TokenKind::kEq);
+          continue;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(pos_));
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  void Push(std::vector<Token>* tokens, TokenKind kind, size_t width = 1) {
+    tokens->push_back({kind, std::string(text_.substr(pos_, width)), pos_});
+    pos_ += width;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::set<std::string> bound)
+      : tokens_(std::move(tokens)), bound_(std::move(bound)) {}
+
+  Result<FormulaPtr> ParseFormulaToEnd() {
+    BRYQL_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
+    BRYQL_RETURN_NOT_OK(Expect(TokenKind::kEnd, "end of input"));
+    return f;
+  }
+
+  Result<Query> ParseQueryToEnd() {
+    Query query;
+    if (Current().kind == TokenKind::kLBrace) {
+      Advance();
+      while (true) {
+        if (Current().kind != TokenKind::kIdent) {
+          return Error("expected variable name in target list");
+        }
+        query.targets.push_back(Current().text);
+        bound_.insert(Current().text);
+        Advance();
+        if (Current().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      BRYQL_RETURN_NOT_OK(Expect(TokenKind::kPipe, "'|'"));
+      BRYQL_ASSIGN_OR_RETURN(query.formula, ParseIff());
+      BRYQL_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "'}'"));
+      BRYQL_RETURN_NOT_OK(Expect(TokenKind::kEnd, "end of input"));
+      // Every target must actually occur in the formula.
+      std::set<std::string> free = query.formula->FreeVariableSet();
+      for (const std::string& t : query.targets) {
+        if (!free.count(t)) {
+          return Status::InvalidArgument("target variable '" + t +
+                                         "' does not occur free in the query");
+        }
+      }
+      return query;
+    }
+    BRYQL_ASSIGN_OR_RETURN(query.formula, ParseIff());
+    BRYQL_RETURN_NOT_OK(Expect(TokenKind::kEnd, "end of input"));
+    return query;
+  }
+
+ private:
+  const Token& Current() const { return tokens_[index_]; }
+  const Token& Next() const {
+    return tokens_[std::min(index_ + 1, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(Current().pos) +
+                                   " (near '" + Current().text + "')");
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Current().kind != kind) return Error("expected " + what);
+    Advance();
+    return Status::Ok();
+  }
+
+  bool AtKeyword(const char* kw) const {
+    return Current().kind == TokenKind::kIdent && Current().text == kw;
+  }
+
+  Result<FormulaPtr> ParseIff() {
+    BRYQL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseImplies());
+    while (Current().kind == TokenKind::kDArrow) {
+      Advance();
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseImplies());
+      lhs = Formula::Iff(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseImplies() {
+    BRYQL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseOr());
+    if (Current().kind == TokenKind::kArrow) {
+      Advance();
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseImplies());
+      return Formula::Implies(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<FormulaPtr> ParseOr() {
+    BRYQL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseAnd());
+    std::vector<FormulaPtr> parts{std::move(lhs)};
+    while (Current().kind == TokenKind::kPipe || AtKeyword("or")) {
+      // Inside `{ x | F }`, a '|' right before '}' never occurs; '|' here is
+      // always disjunction because ParseQueryToEnd consumed the target pipe.
+      Advance();
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseAnd());
+      parts.push_back(std::move(rhs));
+    }
+    if (parts.size() == 1) return parts.front();
+    return Formula::Or(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseAnd() {
+    BRYQL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseUnary());
+    std::vector<FormulaPtr> parts{std::move(lhs)};
+    while (Current().kind == TokenKind::kAmp || AtKeyword("and")) {
+      Advance();
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseUnary());
+      parts.push_back(std::move(rhs));
+    }
+    if (parts.size() == 1) return parts.front();
+    return Formula::And(std::move(parts));
+  }
+
+  Result<FormulaPtr> ParseUnary() {
+    if (Current().kind == TokenKind::kTilde || AtKeyword("not")) {
+      Advance();
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
+      return Formula::Not(std::move(f));
+    }
+    if (AtKeyword("exists") || AtKeyword("forall")) {
+      bool existential = Current().text == "exists";
+      Advance();
+      std::vector<std::string> vars;
+      while (Current().kind == TokenKind::kIdent &&
+             Next().kind != TokenKind::kLParen) {
+        vars.push_back(Current().text);
+        Advance();
+      }
+      if (vars.empty()) return Error("expected quantified variable name");
+      BRYQL_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+      std::vector<std::string> shadowed;
+      for (const std::string& v : vars) {
+        if (bound_.insert(v).second) shadowed.push_back(v);
+      }
+      Result<FormulaPtr> body = ParseIff();
+      for (const std::string& v : shadowed) bound_.erase(v);
+      if (!body.ok()) return body.status();
+      FormulaPtr f = std::move(body).ValueOrDie();
+      return existential ? Formula::Exists(std::move(vars), std::move(f))
+                         : Formula::Forall(std::move(vars), std::move(f));
+    }
+    if (Current().kind == TokenKind::kLParen) {
+      Advance();
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
+      BRYQL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return f;
+    }
+    return ParseAtomOrComparison();
+  }
+
+  Result<FormulaPtr> ParseAtomOrComparison() {
+    // Atom: ident '(' ... ')'.
+    if (Current().kind == TokenKind::kIdent &&
+        Next().kind == TokenKind::kLParen) {
+      std::string predicate = Current().text;
+      Advance();
+      Advance();  // '('
+      std::vector<Term> terms;
+      if (Current().kind != TokenKind::kRParen) {
+        while (true) {
+          BRYQL_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          terms.push_back(std::move(t));
+          if (Current().kind == TokenKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      BRYQL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return Formula::Atom(std::move(predicate), std::move(terms));
+    }
+    // Otherwise a comparison.
+    BRYQL_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    CompareOp op;
+    switch (Current().kind) {
+      case TokenKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator or atom");
+    }
+    Advance();
+    BRYQL_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Formula::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<Term> ParseTerm() {
+    const Token& tok = Current();
+    switch (tok.kind) {
+      case TokenKind::kIdent: {
+        Advance();
+        // Bound names are variables; everything else is a string constant
+        // (the paper's `enrolled(x, cs)` convention).
+        if (bound_.count(tok.text)) return Term::Var(tok.text);
+        return Term::Const(Value::String(tok.text));
+      }
+      case TokenKind::kNumber: {
+        Advance();
+        if (tok.text.find('.') != std::string::npos) {
+          return Term::Const(Value::Double(std::strtod(tok.text.c_str(),
+                                                       nullptr)));
+        }
+        return Term::Const(
+            Value::Int(std::strtoll(tok.text.c_str(), nullptr, 10)));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Term::Const(Value::String(tok.text));
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+  std::set<std::string> bound_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  BRYQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+  return Parser(std::move(tokens), {}).ParseQueryToEnd();
+}
+
+Result<FormulaPtr> ParseFormula(std::string_view text,
+                                const std::vector<std::string>& bound_vars) {
+  BRYQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+  std::set<std::string> bound(bound_vars.begin(), bound_vars.end());
+  return Parser(std::move(tokens), std::move(bound)).ParseFormulaToEnd();
+}
+
+}  // namespace bryql

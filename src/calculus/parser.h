@@ -1,0 +1,56 @@
+#ifndef BRYQL_CALCULUS_PARSER_H_
+#define BRYQL_CALCULUS_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "calculus/formula.h"
+#include "common/result.h"
+
+namespace bryql {
+
+/// A parsed query: a formula plus the target list of an open query.
+/// Closed (yes/no) queries have an empty target list.
+struct Query {
+  /// Free variables whose bindings are the answer, in target-list order.
+  std::vector<std::string> targets;
+  FormulaPtr formula;
+
+  bool closed() const { return targets.empty(); }
+  /// Renders `{ x, y | F }` or the bare formula for closed queries.
+  std::string ToString() const;
+};
+
+/// Parses the bryql query language. Grammar (precedence low to high:
+/// `<->`, `->`, `|`, `&`, quantifiers/`~`):
+///
+///   query      := '{' ident (',' ident)* '|' formula '}' | formula
+///   formula    := iff
+///   iff        := implies ('<->' implies)*
+///   implies    := or ('->' implies)?             (right associative)
+///   or         := and ('|' and | 'or' and)*
+///   and        := unary ('&' unary | 'and' unary)*
+///   unary      := ('~'|'!'|'not') unary
+///               | ('exists'|'forall') ident+ ':' formula
+///               | '(' formula ')'
+///               | atom | comparison
+///   atom       := ident '(' term (',' term)* ')'
+///   comparison := term ('='|'!='|'<'|'<='|'>'|'>=') term
+///   term       := ident | number | '\'' chars '\''
+///
+/// A quantifier's scope extends as far right as possible; parenthesize to
+/// close it early. An identifier in term position denotes a *variable* when
+/// it is bound by an enclosing quantifier or listed in the open-query target
+/// list, and a *string constant* otherwise — so `enrolled(x, cs)` inside
+/// `exists x: ...` reads x as a variable and cs as the constant 'cs',
+/// exactly as the paper writes its examples.
+Result<Query> ParseQuery(std::string_view text);
+
+/// Parses a bare formula with the given names pre-bound as variables.
+Result<FormulaPtr> ParseFormula(std::string_view text,
+                                const std::vector<std::string>& bound_vars = {});
+
+}  // namespace bryql
+
+#endif  // BRYQL_CALCULUS_PARSER_H_

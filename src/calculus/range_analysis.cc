@@ -1,0 +1,243 @@
+#include "calculus/range_analysis.h"
+
+#include <algorithm>
+
+namespace bryql {
+
+namespace {
+
+/// All distinct variables among the terms of an atom or comparison.
+std::set<std::string> TermVariables(const Formula& f) {
+  std::set<std::string> vars;
+  for (const Term& t : f.terms()) {
+    if (t.is_variable()) vars.insert(t.var());
+  }
+  return vars;
+}
+
+bool Subset(const std::set<std::string>& a, const std::set<std::string>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+}  // namespace
+
+std::optional<std::set<std::string>> ProducedVariables(
+    const FormulaPtr& f, const std::set<std::string>& outer) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+      // Definition 1 case 1, generalized: constants and repeated variables
+      // act as built-in selections on the stored relation.
+      return TermVariables(*f);
+    case FormulaKind::kCompare: {
+      if (f->compare_op() != CompareOp::kEq) return std::nullopt;
+      const Term& l = f->lhs();
+      const Term& r = f->rhs();
+      auto bound = [&](const Term& t) {
+        return t.is_constant() || outer.count(t.var()) != 0;
+      };
+      if (l.is_variable() && !outer.count(l.var()) && bound(r)) {
+        return std::set<std::string>{l.var()};
+      }
+      if (r.is_variable() && !outer.count(r.var()) && bound(l)) {
+        return std::set<std::string>{r.var()};
+      }
+      return std::nullopt;
+    }
+    case FormulaKind::kAnd: {
+      // Definition 1 cases 2 and 4: a conjunction produces the union of
+      // its producer conjuncts when a safe order exists.
+      auto split = SplitProducersAndFilters(f->children(), {}, outer);
+      if (!split) return std::nullopt;
+      return split->produced;
+    }
+    case FormulaKind::kOr: {
+      // Definition 1 case 3: every disjunct must be a range for the same
+      // variables.
+      std::optional<std::set<std::string>> produced;
+      for (const FormulaPtr& c : f->children()) {
+        auto p = ProducedVariables(c, outer);
+        if (!p) return std::nullopt;
+        // The disjunct may not have unproduced free variables beyond outer.
+        for (const std::string& v : c->FreeVariableSet()) {
+          if (!p->count(v) && !outer.count(v)) return std::nullopt;
+        }
+        if (!produced) {
+          produced = std::move(p);
+        } else if (*produced != *p) {
+          return std::nullopt;
+        }
+      }
+      return produced;
+    }
+    case FormulaKind::kExists: {
+      // Definition 1 case 5: ∃y R is a range for x̄ when R ranges x̄ ∪ ȳ.
+      auto p = ProducedVariables(f->child(), outer);
+      if (!p) return std::nullopt;
+      for (const std::string& v : f->vars()) {
+        if (!p->count(v)) return std::nullopt;
+        p->erase(v);
+      }
+      return p;
+    }
+    case FormulaKind::kNot:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+    case FormulaKind::kForall:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool IsRangeFor(const FormulaPtr& f, const std::set<std::string>& xs,
+                const std::set<std::string>& outer) {
+  auto produced = ProducedVariables(f, outer);
+  if (!produced || !Subset(xs, *produced)) return false;
+  for (const std::string& v : f->FreeVariableSet()) {
+    if (!produced->count(v) && !outer.count(v)) return false;
+  }
+  return true;
+}
+
+std::optional<ProducerFilterSplit> SplitProducersAndFilters(
+    const std::vector<FormulaPtr>& conjuncts,
+    const std::set<std::string>& required,
+    const std::set<std::string>& outer) {
+  ProducerFilterSplit split;
+  std::set<std::string> bound = outer;
+  std::vector<FormulaPtr> remaining = conjuncts;
+  while (!remaining.empty()) {
+    bool placed = false;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      const FormulaPtr& c = remaining[i];
+      std::set<std::string> free = c->FreeVariableSet();
+      // A filter: everything already bound.
+      if (Subset(free, bound)) {
+        split.ordered.push_back(c);
+        split.is_producer.push_back(false);
+        remaining.erase(remaining.begin() + i);
+        placed = true;
+        break;
+      }
+      // A producer: produces its unbound free variables.
+      auto produced = ProducedVariables(c, bound);
+      if (produced) {
+        bool covers = true;
+        for (const std::string& v : free) {
+          if (!bound.count(v) && !produced->count(v)) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          for (const std::string& v : *produced) {
+            bound.insert(v);
+            split.produced.insert(v);
+          }
+          split.ordered.push_back(c);
+          split.is_producer.push_back(true);
+          remaining.erase(remaining.begin() + i);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) return std::nullopt;
+  }
+  if (!Subset(required, bound)) return std::nullopt;
+  return split;
+}
+
+namespace {
+
+std::vector<FormulaPtr> Conjuncts(const FormulaPtr& f) {
+  if (f->kind() == FormulaKind::kAnd) return f->children();
+  return {f};
+}
+
+Status CheckImpl(const FormulaPtr& f, const std::set<std::string>& outer);
+
+/// Checks an existential block ∃vars: body (vars may be empty for the
+/// top-level open/closed query).
+Status CheckExistentialBlock(const std::vector<std::string>& vars,
+                             const FormulaPtr& body,
+                             const std::set<std::string>& outer) {
+  std::set<std::string> required(vars.begin(), vars.end());
+  for (const std::string& v : body->FreeVariables()) {
+    if (!outer.count(v)) required.insert(v);
+  }
+  auto split = SplitProducersAndFilters(Conjuncts(body), required, outer);
+  if (!split) {
+    return Status::Unsupported(
+        "no range found for quantified variables in: " + body->ToString());
+  }
+  std::set<std::string> bound = outer;
+  bound.insert(split->produced.begin(), split->produced.end());
+  for (const FormulaPtr& c : split->ordered) {
+    BRYQL_RETURN_NOT_OK(CheckImpl(c, bound));
+  }
+  return Status::Ok();
+}
+
+Status CheckImpl(const FormulaPtr& f, const std::set<std::string>& outer) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      return Status::Ok();
+    case FormulaKind::kNot:
+      return CheckImpl(f->child(), outer);
+    case FormulaKind::kAnd:
+      return CheckExistentialBlock({}, f, outer);
+    case FormulaKind::kOr: {
+      for (const FormulaPtr& c : f->children()) {
+        BRYQL_RETURN_NOT_OK(CheckImpl(c, outer));
+      }
+      return Status::Ok();
+    }
+    case FormulaKind::kExists:
+      return CheckExistentialBlock(f->vars(), f->child(), outer);
+    case FormulaKind::kForall: {
+      // Definition 2 universal forms: ∀x̄ R ⇒ F and ∀x̄ ¬R. Check via the
+      // equivalent existential block (Rules 4/5).
+      const FormulaPtr& body = f->child();
+      if (body->kind() == FormulaKind::kImplies) {
+        FormulaPtr as_exists = Formula::And(
+            body->children()[0], Formula::Not(body->children()[1]));
+        return CheckExistentialBlock(f->vars(), as_exists, outer);
+      }
+      if (body->kind() == FormulaKind::kNot) {
+        return CheckExistentialBlock(f->vars(), body->child(), outer);
+      }
+      return Status::Unsupported(
+          "universal quantification without range form (normalize first): " +
+          f->ToString());
+    }
+    case FormulaKind::kImplies:
+      return Status::Unsupported(
+          "implication outside a universal range (normalize first): " +
+          f->ToString());
+    case FormulaKind::kIff:
+      return Status::Unsupported(
+          "equivalences must be eliminated by normalization: " +
+          f->ToString());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CheckRestricted(const FormulaPtr& f) { return CheckImpl(f, {}); }
+
+Status CheckRestrictedQuery(const FormulaPtr& f,
+                            const std::set<std::string>& targets) {
+  if (targets.empty()) return CheckRestricted(f);
+  std::vector<FormulaPtr> branches =
+      f->kind() == FormulaKind::kOr ? f->children()
+                                    : std::vector<FormulaPtr>{f};
+  std::vector<std::string> required(targets.begin(), targets.end());
+  for (const FormulaPtr& branch : branches) {
+    BRYQL_RETURN_NOT_OK(CheckExistentialBlock(required, branch, {}));
+  }
+  return Status::Ok();
+}
+
+}  // namespace bryql

@@ -1,0 +1,74 @@
+#ifndef BRYQL_CALCULUS_RANGE_ANALYSIS_H_
+#define BRYQL_CALCULUS_RANGE_ANALYSIS_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/formula.h"
+#include "common/status.h"
+
+namespace bryql {
+
+/// The set of variables `f` can *produce* bindings for (Definition 1,
+/// generalized), given that the variables in `outer` are already bound by
+/// an enclosing producer. Returns nullopt when `f` is not a producer at all
+/// (e.g. a negation, or a disjunction whose branches produce different
+/// variable sets).
+///
+/// Generalizations over the paper's Definition 1, both noted in DESIGN.md:
+///  * an atom is a producer for the set of distinct variables among its
+///    arguments — constants and repeated variables act as built-in
+///    selections (the paper's own examples, e.g. lecture(y, db), use this);
+///  * an equality comparison `x = c` with `c` constant (or an
+///    already-bound variable) produces {x}.
+std::optional<std::set<std::string>> ProducedVariables(
+    const FormulaPtr& f, const std::set<std::string>& outer);
+
+/// True when `f` is a range for exactly the variables `xs` given outer
+/// bindings `outer` (Definition 1): it produces every variable of `xs` and
+/// has no other free variables outside `outer`.
+bool IsRangeFor(const FormulaPtr& f, const std::set<std::string>& xs,
+                const std::set<std::string>& outer);
+
+/// The producer/filter split of a conjunction (Definition 5): a safe
+/// evaluation order of the conjuncts of `body` such that each conjunct is
+/// either a producer whose non-produced free variables are bound at its
+/// position, or a filter whose free variables are all bound.
+struct ProducerFilterSplit {
+  /// Conjuncts in evaluation order.
+  std::vector<FormulaPtr> ordered;
+  /// ordered[i] is a producer (contributes new bindings) iff is_producer[i].
+  std::vector<bool> is_producer;
+  /// Variables produced overall.
+  std::set<std::string> produced;
+};
+
+/// Computes a ProducerFilterSplit for conjuncts that must bind `required`
+/// (beyond `outer`). Returns nullopt if no safe order exists — the query is
+/// then not a formula with restricted variables (Definitions 2/3).
+std::optional<ProducerFilterSplit> SplitProducersAndFilters(
+    const std::vector<FormulaPtr>& conjuncts,
+    const std::set<std::string>& required,
+    const std::set<std::string>& outer);
+
+/// Checks Definitions 2/3: every quantification of `f` is restricted
+/// (ranges exist for all quantified variables) and, for an open query, the
+/// free variables are restricted as well. Returns OK or kUnsupported with a
+/// description of the offending subformula.
+///
+/// `f` is expected in (or close to) canonical form: universal quantifiers
+/// and implications are also handled by checking their existential
+/// counterparts.
+Status CheckRestricted(const FormulaPtr& f);
+
+/// CheckRestricted for an open query: additionally requires the top-level
+/// block (or each top-level disjunct) to range the `targets`
+/// (Definition 3).
+Status CheckRestrictedQuery(const FormulaPtr& f,
+                            const std::set<std::string>& targets);
+
+}  // namespace bryql
+
+#endif  // BRYQL_CALCULUS_RANGE_ANALYSIS_H_

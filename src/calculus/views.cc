@@ -1,0 +1,182 @@
+#include "calculus/views.h"
+
+#include <set>
+
+namespace bryql {
+
+namespace {
+
+/// Renames every bound variable of `f` to a fresh "name$N", threading the
+/// counter, so that substituting arbitrary terms into the result can never
+/// capture.
+FormulaPtr FreshenBound(const FormulaPtr& f, size_t* counter) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      return f;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      std::map<std::string, Term> renaming;
+      std::vector<std::string> fresh_vars;
+      for (const std::string& v : f->vars()) {
+        std::string fresh = v + "$" + std::to_string((*counter)++);
+        renaming.emplace(v, Term::Var(fresh));
+        fresh_vars.push_back(std::move(fresh));
+      }
+      FormulaPtr body =
+          FreshenBound(Substitute(f->child(), renaming), counter);
+      return f->kind() == FormulaKind::kExists
+                 ? Formula::Exists(std::move(fresh_vars), std::move(body))
+                 : Formula::Forall(std::move(fresh_vars), std::move(body));
+    }
+    default: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children().size());
+      for (const FormulaPtr& c : f->children()) {
+        children.push_back(FreshenBound(c, counter));
+      }
+      switch (f->kind()) {
+        case FormulaKind::kNot:
+          return Formula::Not(children[0]);
+        case FormulaKind::kAnd:
+          return Formula::And(std::move(children));
+        case FormulaKind::kOr:
+          return Formula::Or(std::move(children));
+        case FormulaKind::kImplies:
+          return Formula::Implies(children[0], children[1]);
+        case FormulaKind::kIff:
+          return Formula::Iff(children[0], children[1]);
+        default:
+          return f;
+      }
+    }
+  }
+}
+
+class Expander {
+ public:
+  Expander(const std::map<std::string, Query>& views) : views_(views) {}
+
+  Result<FormulaPtr> Expand(const FormulaPtr& f,
+                            std::set<std::string>* in_progress) {
+    switch (f->kind()) {
+      case FormulaKind::kCompare:
+        return f;
+      case FormulaKind::kAtom: {
+        auto it = views_.find(f->predicate());
+        if (it == views_.end()) return f;
+        const Query& view = it->second;
+        if (in_progress->count(f->predicate())) {
+          return Status::Unsupported("cyclic view reference through '" +
+                                     f->predicate() + "'");
+        }
+        if (view.targets.size() != f->terms().size()) {
+          return Status::InvalidArgument(
+              "view '" + f->predicate() + "' has " +
+              std::to_string(view.targets.size()) + " columns but is used "
+              "with " + std::to_string(f->terms().size()) + " arguments");
+        }
+        // Freshen the body's bound variables, then map targets to the
+        // atom's arguments.
+        FormulaPtr body = FreshenBound(view.formula, &counter_);
+        std::map<std::string, Term> binding;
+        for (size_t i = 0; i < view.targets.size(); ++i) {
+          binding.emplace(view.targets[i], f->terms()[i]);
+        }
+        body = Substitute(body, binding);
+        in_progress->insert(f->predicate());
+        Result<FormulaPtr> expanded = Expand(body, in_progress);
+        in_progress->erase(f->predicate());
+        return expanded;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        BRYQL_ASSIGN_OR_RETURN(FormulaPtr body,
+                               Expand(f->child(), in_progress));
+        if (body.get() == f->child().get()) return f;
+        return f->kind() == FormulaKind::kExists
+                   ? Formula::Exists(f->vars(), std::move(body))
+                   : Formula::Forall(f->vars(), std::move(body));
+      }
+      default: {
+        std::vector<FormulaPtr> children;
+        children.reserve(f->children().size());
+        bool changed = false;
+        for (const FormulaPtr& c : f->children()) {
+          BRYQL_ASSIGN_OR_RETURN(FormulaPtr nc, Expand(c, in_progress));
+          changed |= nc.get() != c.get();
+          children.push_back(std::move(nc));
+        }
+        if (!changed) return f;
+        switch (f->kind()) {
+          case FormulaKind::kNot:
+            return Formula::Not(children[0]);
+          case FormulaKind::kAnd:
+            return Formula::And(std::move(children));
+          case FormulaKind::kOr:
+            return Formula::Or(std::move(children));
+          case FormulaKind::kImplies:
+            return Formula::Implies(children[0], children[1]);
+          case FormulaKind::kIff:
+            return Formula::Iff(children[0], children[1]);
+          default:
+            return Status::Internal("unexpected connective");
+        }
+      }
+    }
+  }
+
+ private:
+  const std::map<std::string, Query>& views_;
+  size_t counter_ = 0;
+};
+
+}  // namespace
+
+Status ViewSet::Define(const std::string& name, Query definition) {
+  if (definition.closed()) {
+    return Status::InvalidArgument(
+        "view '" + name + "' must be an open query with targets");
+  }
+  std::set<std::string> free = definition.formula->FreeVariableSet();
+  std::set<std::string> targets(definition.targets.begin(),
+                                definition.targets.end());
+  if (free != targets) {
+    return Status::InvalidArgument(
+        "view '" + name +
+        "': free variables must be exactly the targets");
+  }
+  if (targets.size() != definition.targets.size()) {
+    return Status::InvalidArgument("view '" + name +
+                                   "': duplicate target variable");
+  }
+  views_.insert_or_assign(name, std::move(definition));
+  return Status::Ok();
+}
+
+Status ViewSet::DefineFromText(const std::string& name,
+                               const std::string& text) {
+  BRYQL_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return Define(name, std::move(query));
+}
+
+Result<size_t> ViewSet::ArityOf(const std::string& name) const {
+  auto it = views_.find(name);
+  if (it == views_.end()) {
+    return Status::NotFound("no view named '" + name + "'");
+  }
+  return it->second.targets.size();
+}
+
+Result<FormulaPtr> ViewSet::Expand(const FormulaPtr& f) const {
+  Expander expander(views_);
+  std::set<std::string> in_progress;
+  return expander.Expand(f, &in_progress);
+}
+
+Result<Query> ViewSet::Expand(const Query& query) const {
+  BRYQL_ASSIGN_OR_RETURN(FormulaPtr formula, Expand(query.formula));
+  return Query{query.targets, std::move(formula)};
+}
+
+}  // namespace bryql

@@ -1,0 +1,53 @@
+#ifndef BRYQL_CALCULUS_VIEWS_H_
+#define BRYQL_CALCULUS_VIEWS_H_
+
+#include <map>
+#include <string>
+
+#include "calculus/parser.h"
+#include "common/result.h"
+
+namespace bryql {
+
+/// Named open queries usable as predicates in other queries — the "views"
+/// of Definition 1 ("P is a relation or a view"). An atom v(t1,...,tk)
+/// over a view v = { x1,...,xk | B } expands to B with every xi replaced
+/// by ti, after freshening B's bound variables so that no capture can
+/// occur. Views may reference other views; cycles are rejected.
+///
+/// Expansion happens on the calculus before normalization, so view bodies
+/// participate fully in the canonical form — a view used under a
+/// quantifier is miniscoped, split and producer/filter-classified like
+/// hand-inlined text (Definition 1's "view definitions local to a query").
+class ViewSet {
+ public:
+  /// Defines (or replaces) a view. The definition must be an open query
+  /// whose free variables are exactly its targets.
+  Status Define(const std::string& name, Query definition);
+
+  /// Parses `text` as an open query and defines it under `name`.
+  Status DefineFromText(const std::string& name, const std::string& text);
+
+  bool Has(const std::string& name) const {
+    return views_.count(name) != 0;
+  }
+  size_t size() const { return views_.size(); }
+
+  /// Number of columns of a view, or kNotFound.
+  Result<size_t> ArityOf(const std::string& name) const;
+
+  /// Replaces every view atom in `f` (recursively, including views used
+  /// by views) by its expanded definition. Returns kInvalidArgument on
+  /// arity mismatches and kUnsupported on cyclic view references.
+  Result<FormulaPtr> Expand(const FormulaPtr& f) const;
+
+  /// Expands a whole query.
+  Result<Query> Expand(const Query& query) const;
+
+ private:
+  std::map<std::string, Query> views_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_CALCULUS_VIEWS_H_

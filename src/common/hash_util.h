@@ -1,0 +1,16 @@
+#ifndef BRYQL_COMMON_HASH_UTIL_H_
+#define BRYQL_COMMON_HASH_UTIL_H_
+
+#include <cstddef>
+
+namespace bryql {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe). Used to hash
+/// tuples and composite keys consistently across the engine.
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace bryql
+
+#endif  // BRYQL_COMMON_HASH_UTIL_H_

@@ -1,0 +1,82 @@
+#ifndef BRYQL_COMMON_RESULT_H_
+#define BRYQL_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace bryql {
+
+/// Holds either a value of type T or a non-OK Status, in the style of
+/// arrow::Result. A Result constructed from an OK Status is a bug; callers
+/// must only wrap genuine errors.
+///
+/// Usage:
+///   Result<Relation> r = Evaluate(expr);
+///   if (!r.ok()) return r.status();
+///   Relation rel = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, to allow `return value;`).
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit, to allow
+  /// `return Status::...;`). `status` must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  /// The error, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(storage_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  /// Shorthand dereference, mirroring std::optional.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> storage_;
+};
+
+}  // namespace bryql
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise binds the value to `lhs`.
+#define BRYQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define BRYQL_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define BRYQL_ASSIGN_OR_RETURN_NAME(x, y) BRYQL_ASSIGN_OR_RETURN_CONCAT(x, y)
+
+#define BRYQL_ASSIGN_OR_RETURN(lhs, expr) \
+  BRYQL_ASSIGN_OR_RETURN_IMPL(            \
+      BRYQL_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, expr)
+
+#endif  // BRYQL_COMMON_RESULT_H_

@@ -1,0 +1,81 @@
+#ifndef BRYQL_COMMON_STATUS_H_
+#define BRYQL_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace bryql {
+
+/// Error categories used across the library. The set is deliberately small:
+/// a code selects a recovery strategy, the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  /// A malformed input: unparsable query text, invalid CSV, bad arity.
+  kInvalidArgument,
+  /// A name (relation, variable, column) that is not in scope.
+  kNotFound,
+  /// A query that is syntactically fine but outside the evaluable class,
+  /// e.g. a formula whose variables are not restricted (Definitions 2/3).
+  kUnsupported,
+  /// An internal invariant was violated. Always a bug in bryql itself.
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. The library does not throw
+/// exceptions on any query-processing path; fallible operations return
+/// Status (or Result<T> when they also produce a value).
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace bryql
+
+/// Propagates a non-OK Status to the caller. Mirrors the Arrow/RocksDB
+/// RETURN_NOT_OK idiom.
+#define BRYQL_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::bryql::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+#endif  // BRYQL_COMMON_STATUS_H_

@@ -1,0 +1,21 @@
+#ifndef BRYQL_COMMON_STR_UTIL_H_
+#define BRYQL_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bryql {
+
+/// Joins `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+}  // namespace bryql
+
+#endif  // BRYQL_COMMON_STR_UTIL_H_

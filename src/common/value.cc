@@ -1,0 +1,76 @@
+#include "common/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace bryql {
+
+namespace {
+
+/// True when the pair mixes kInt and kDouble, which compare numerically.
+bool IsNumericPair(const Value& a, const Value& b) {
+  auto numeric = [](ValueKind k) {
+    return k == ValueKind::kInt || k == ValueKind::kDouble;
+  };
+  return numeric(a.kind()) && numeric(b.kind()) && a.kind() != b.kind();
+}
+
+double NumericOf(const Value& v) {
+  return v.kind() == ValueKind::kInt ? static_cast<double>(v.AsInt())
+                                     : v.AsDouble();
+}
+
+}  // namespace
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "∅";
+    case ValueKind::kMark:
+      return "⊥";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueKind::kString:
+      return "'" + AsString() + "'";
+  }
+  return "<bad value>";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (IsNumericPair(a, b)) return NumericOf(a) == NumericOf(b);
+  return a.rep_ == b.rep_;
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (IsNumericPair(a, b)) return NumericOf(a) < NumericOf(b);
+  return a.rep_ < b.rep_;
+}
+
+size_t Value::Hash() const {
+  // Int and double hash through the same numeric path so that values that
+  // compare equal (Int(2) == Double(2.0)) hash alike.
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueKind::kMark:
+      return 0xc2b2ae3d27d4eb4full;
+    case ValueKind::kInt:
+      return std::hash<double>{}(static_cast<double>(AsInt()));
+    case ValueKind::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueKind::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace bryql

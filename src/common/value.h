@@ -1,0 +1,106 @@
+#ifndef BRYQL_COMMON_VALUE_H_
+#define BRYQL_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace bryql {
+
+/// The kind of a domain value. `kNull` and `kMark` are the two internal
+/// symbols of the paper's constrained outer-join (Definition 7):
+///   kNull — the ∅ symbol padded onto outer-join tuples with no partner;
+///   kMark — the ⊥ symbol recording that a partner exists without storing it.
+/// Neither symbol is expressible in the user query language; they only
+/// appear in intermediate relations.
+enum class ValueKind {
+  kNull = 0,
+  kMark,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// An immutable typed value from the database domain.
+///
+/// Ordering and equality are defined across kinds (kind first, then payload)
+/// so values can serve as hash/tree keys; cross-kind comparisons never claim
+/// equality. ∅ and ⊥ compare equal only to themselves, matching their use as
+/// pure markers in Definition 7.
+class Value {
+ public:
+  /// Constructs the internal null symbol ∅.
+  Value() : rep_(NullRep{}) {}
+
+  static Value Null() { return Value(); }
+  /// The internal "partner found" symbol ⊥ of Definition 7.
+  static Value Mark() {
+    Value v;
+    v.rep_ = MarkRep{};
+    return v;
+  }
+  static Value Int(int64_t value) {
+    Value v;
+    v.rep_ = value;
+    return v;
+  }
+  static Value Double(double value) {
+    Value v;
+    v.rep_ = value;
+    return v;
+  }
+  static Value String(std::string value) {
+    Value v;
+    v.rep_ = std::move(value);
+    return v;
+  }
+
+  ValueKind kind() const { return static_cast<ValueKind>(rep_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_mark() const { return kind() == ValueKind::kMark; }
+
+  /// Payload accessors; each must only be called for the matching kind.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value for plans and test output: ints and doubles as
+  /// written, strings single-quoted, ∅ as "∅" and ⊥ as "⊥".
+  std::string ToString() const;
+
+  /// Total order over all values: by kind, then by payload. Int/double pairs
+  /// compare numerically so that selections like x < 3.5 behave naturally.
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  /// Hash consistent with operator==.
+  size_t Hash() const;
+
+ private:
+  struct NullRep {
+    friend bool operator==(NullRep, NullRep) { return true; }
+    friend bool operator<(NullRep, NullRep) { return false; }
+  };
+  struct MarkRep {
+    friend bool operator==(MarkRep, MarkRep) { return true; }
+    friend bool operator<(MarkRep, MarkRep) { return false; }
+  };
+
+  std::variant<NullRep, MarkRep, int64_t, double, std::string> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+/// Hash functor for use as std::unordered_* key.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_COMMON_VALUE_H_

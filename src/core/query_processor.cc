@@ -1,0 +1,157 @@
+#include "core/query_processor.h"
+
+#include "algebra/simplifier.h"
+#include "calculus/range_analysis.h"
+#include "exec/executor.h"
+#include "nestedloop/nested_loop.h"
+#include "rewrite/domain_closure.h"
+#include "translate/classical_translator.h"
+
+namespace bryql {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kBry:
+      return "bry";
+    case Strategy::kBryDivision:
+      return "bry-division";
+    case Strategy::kQuelCounting:
+      return "quel-counting";
+    case Strategy::kBryUnionFilters:
+      return "bry-union-filters";
+    case Strategy::kClassical:
+      return "classical";
+    case Strategy::kNestedLoop:
+      return "nested-loop";
+  }
+  return "?";
+}
+
+std::string Answer::ToString() const {
+  if (closed) return truth ? "true" : "false";
+  return relation.ToString();
+}
+
+namespace {
+
+TranslateOptions OptionsFor(Strategy strategy) {
+  TranslateOptions options;
+  if (strategy == Strategy::kBryDivision) {
+    options.universal = TranslateOptions::Universal::kDivision;
+  }
+  if (strategy == Strategy::kQuelCounting) {
+    options.universal = TranslateOptions::Universal::kCountComparison;
+  }
+  if (strategy == Strategy::kBryUnionFilters) {
+    options.disjunction = TranslateOptions::Disjunction::kUnionOfFilters;
+  }
+  return options;
+}
+
+}  // namespace
+
+Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
+                                          Strategy strategy) const {
+  Query query = raw_query;
+  if (views_ != nullptr) {
+    BRYQL_ASSIGN_OR_RETURN(query, views_->Expand(query));
+  }
+  Execution exec;
+  exec.query = query;
+  std::set<std::string> targets(query.targets.begin(), query.targets.end());
+  if (strategy == Strategy::kNestedLoop) {
+    // Figure 1 interprets the calculus directly; normalization is still
+    // applied so all strategies answer the same canonical question (the
+    // interpreter handles ∀ natively, so this is not required, but it
+    // keeps the comparison apples-to-apples on the same formula).
+    BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm, NormalizeQuery(query));
+    exec.canonical = norm.formula;
+    exec.rewrite_steps = norm.steps();
+    if (domain_closure_ && !CheckRestrictedQuery(exec.canonical, targets).ok()) {
+      BRYQL_ASSIGN_OR_RETURN(exec.canonical,
+                             ApplyDomainClosure(exec.canonical, targets));
+    }
+    return exec;
+  }
+  if (strategy == Strategy::kClassical) {
+    // The conventional methods reduce the raw query directly (prenex
+    // form); no canonical form phase.
+    ClassicalTranslator classical(db_);
+    if (query.closed()) {
+      BRYQL_ASSIGN_OR_RETURN(exec.plan,
+                             classical.TranslateClosed(query.formula));
+    } else {
+      BRYQL_ASSIGN_OR_RETURN(TranslatedQuery t,
+                             classical.TranslateOpen(query));
+      exec.plan = t.expr;
+    }
+    return exec;
+  }
+  BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm, NormalizeQuery(query));
+  exec.canonical = norm.formula;
+  exec.rewrite_steps = norm.steps();
+  if (domain_closure_ && !CheckRestrictedQuery(exec.canonical, targets).ok()) {
+    BRYQL_ASSIGN_OR_RETURN(exec.canonical,
+                           ApplyDomainClosure(exec.canonical, targets));
+  }
+  Translator translator(db_, OptionsFor(strategy));
+  if (query.closed()) {
+    BRYQL_ASSIGN_OR_RETURN(exec.plan,
+                           translator.TranslateClosed(exec.canonical));
+  } else {
+    Query canonical_query{query.targets, exec.canonical};
+    BRYQL_ASSIGN_OR_RETURN(TranslatedQuery t,
+                           translator.TranslateOpen(canonical_query));
+    exec.plan = t.expr;
+  }
+  // Plan cleanup: drop identity projections, merge selections, fold
+  // statically empty inputs. Never changes results.
+  BRYQL_ASSIGN_OR_RETURN(exec.plan, SimplifyPlan(exec.plan, *db_));
+  return exec;
+}
+
+Result<Execution> QueryProcessor::RunQuery(const Query& query,
+                                           Strategy strategy) const {
+  BRYQL_ASSIGN_OR_RETURN(Execution exec, Prepare(query, strategy));
+  if (strategy == Strategy::kNestedLoop) {
+    NestedLoopEvaluator eval(db_);
+    if (query.closed()) {
+      BRYQL_ASSIGN_OR_RETURN(bool truth,
+                             eval.EvaluateClosed(exec.canonical));
+      exec.answer.closed = true;
+      exec.answer.truth = truth;
+    } else {
+      Query canonical_query{query.targets, exec.canonical};
+      BRYQL_ASSIGN_OR_RETURN(Relation rel,
+                             eval.EvaluateOpen(canonical_query));
+      exec.answer.relation = std::move(rel);
+    }
+    exec.stats = eval.stats();
+    return exec;
+  }
+  Executor executor(db_);
+  if (query.closed()) {
+    BRYQL_ASSIGN_OR_RETURN(bool truth, executor.EvaluateBool(exec.plan));
+    exec.answer.closed = true;
+    exec.answer.truth = truth;
+  } else {
+    BRYQL_ASSIGN_OR_RETURN(Relation rel, executor.Evaluate(exec.plan));
+    exec.answer.relation = std::move(rel);
+  }
+  exec.stats = executor.stats();
+  return exec;
+}
+
+Result<Execution> QueryProcessor::Run(const std::string& text,
+                                      Strategy strategy) const {
+  BRYQL_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return RunQuery(query, strategy);
+}
+
+Result<Execution> QueryProcessor::Explain(const std::string& text,
+                                          Strategy strategy) const {
+  BRYQL_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  return Prepare(query, strategy);
+}
+
+}  // namespace bryql

@@ -1,0 +1,102 @@
+#ifndef BRYQL_CORE_QUERY_PROCESSOR_H_
+#define BRYQL_CORE_QUERY_PROCESSOR_H_
+
+#include <string>
+#include <variant>
+
+#include "algebra/expr.h"
+#include "calculus/parser.h"
+#include "calculus/views.h"
+#include "common/result.h"
+#include "exec/stats.h"
+#include "rewrite/rewriter.h"
+#include "storage/database.h"
+#include "translate/translator.h"
+
+namespace bryql {
+
+/// End-to-end evaluation strategies (DESIGN.md experiment index).
+enum class Strategy {
+  /// The paper's method: canonical form + improved translation
+  /// (complement-joins, constrained outer-joins, no division).
+  kBry,
+  /// The paper's method with the literal case-5 division translation
+  /// where applicable (ablation E10).
+  kBryDivision,
+  /// Universal quantifications by count comparison — the Quel baseline
+  /// the paper's introduction criticizes.
+  kQuelCounting,
+  /// The paper's method with disjunctive filters as unions (ablation E6).
+  kBryUnionFilters,
+  /// The conventional reduction [COD 72, PAL 72, JS 82, CG 85]:
+  /// prenex form, cartesian product of ranges, divisions for ∀.
+  kClassical,
+  /// The Figure 1 one-tuple-at-a-time nested loops, straight on the
+  /// calculus.
+  kNestedLoop,
+};
+
+const char* StrategyName(Strategy strategy);
+
+/// The answer to a query: a truth value for closed queries, a relation for
+/// open ones.
+struct Answer {
+  bool closed = false;
+  bool truth = false;   // meaningful when closed
+  Relation relation{0};  // meaningful when open
+
+  std::string ToString() const;
+};
+
+/// Everything produced along the way, for EXPLAIN-style reporting and the
+/// benchmarks.
+struct Execution {
+  Query query;
+  FormulaPtr canonical;      // null for kNestedLoop on the raw formula
+  ExprPtr plan;              // null for kNestedLoop
+  size_t rewrite_steps = 0;
+  Answer answer;
+  ExecStats stats;
+};
+
+/// The two-phase query processor of the paper: normalization into
+/// canonical form (§2) followed by translation into relational algebra
+/// (§3) and evaluation, with pluggable strategies for comparison.
+class QueryProcessor {
+ public:
+  /// `db` must outlive the processor.
+  explicit QueryProcessor(const Database* db) : db_(db) {}
+
+  /// Registers views (Definition 1); atoms over view names are expanded
+  /// before normalization. `views` must outlive the processor.
+  void SetViews(const ViewSet* views) { views_ = views; }
+
+  /// Evaluates otherwise-unrestricted queries under the Domain Closure
+  /// Assumption (§2.1) by inserting `dom` range atoms where quantified or
+  /// target variables lack a range. Off by default: unrestricted queries
+  /// are rejected with kUnsupported.
+  void EnableDomainClosure(bool on = true) { domain_closure_ = on; }
+
+  /// Parses and runs `text` under `strategy`.
+  Result<Execution> Run(const std::string& text,
+                        Strategy strategy = Strategy::kBry) const;
+
+  /// Runs an already-parsed query.
+  Result<Execution> RunQuery(const Query& query,
+                             Strategy strategy = Strategy::kBry) const;
+
+  /// Produces the canonical form and plan without executing (EXPLAIN).
+  Result<Execution> Explain(const std::string& text,
+                            Strategy strategy = Strategy::kBry) const;
+
+ private:
+  Result<Execution> Prepare(const Query& query, Strategy strategy) const;
+
+  const Database* db_;
+  const ViewSet* views_ = nullptr;
+  bool domain_closure_ = false;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_CORE_QUERY_PROCESSOR_H_

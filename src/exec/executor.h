@@ -1,0 +1,63 @@
+#ifndef BRYQL_EXEC_EXECUTOR_H_
+#define BRYQL_EXEC_EXECUTOR_H_
+
+#include "algebra/expr.h"
+#include "common/result.h"
+#include "exec/stats.h"
+#include "storage/database.h"
+
+namespace bryql {
+
+/// Physical execution knobs.
+struct ExecOptions {
+  enum class JoinAlgorithm {
+    /// Hash build + probe (default): streams the left side.
+    kHash,
+    /// Classic sort-merge, the algorithm family of the paper's era.
+    /// Materializes both sides; same results, different cost profile
+    /// (comparisons instead of probes).
+    kSortMerge,
+  };
+  JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+};
+
+/// Evaluates algebra expressions over a database.
+///
+/// The engine is a streaming (volcano-style) evaluator: unary operators and
+/// the probe side of join-family operators are pipelined; build sides of
+/// joins, dedup sets, divisions and set operations materialize. This is
+/// exactly the paper's stance in §3.2 — "algebraic operations are amenable
+/// to pipelining without imposing this technique, nor requiring to perform
+/// it on the whole of the query". Non-emptiness tests (closed queries) pull
+/// at most one tuple from their input and therefore stop at the first
+/// witness.
+class Executor {
+ public:
+  /// `db` must outlive the executor.
+  explicit Executor(const Database* db, ExecOptions options = {})
+      : db_(db), options_(options) {}
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Fully evaluates `expr` to a relation. Counters accumulate into
+  /// stats(); call ResetStats() between measurements.
+  Result<Relation> Evaluate(const ExprPtr& expr);
+
+  /// Evaluates an arity-0 (boolean) expression with short-circuiting:
+  /// BoolAnd/BoolOr stop at the first falsifying/satisfying child and
+  /// NonEmpty stops at the first witness tuple.
+  Result<bool> EvaluateBool(const ExprPtr& expr);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  const Database* db_;
+  ExecOptions options_;
+  ExecStats stats_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_EXECUTOR_H_

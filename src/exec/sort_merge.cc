@@ -1,0 +1,144 @@
+#include "exec/sort_merge.h"
+
+#include <algorithm>
+
+namespace bryql {
+
+namespace {
+
+/// Compares two key tuples, counting one comparison per column touched.
+int CompareKeys(const Tuple& a, const Tuple& b, ExecStats* stats) {
+  for (size_t i = 0; i < a.arity(); ++i) {
+    ++stats->comparisons;
+    if (a.at(i) < b.at(i)) return -1;
+    if (b.at(i) < a.at(i)) return 1;
+  }
+  return 0;
+}
+
+/// Row positions of `rel` sorted by the key columns `cols`.
+std::vector<size_t> SortedOrder(const Relation& rel,
+                                const std::vector<size_t>& cols,
+                                ExecStats* stats) {
+  std::vector<size_t> order(rel.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return CompareKeys(rel.rows()[a].Project(cols),
+                       rel.rows()[b].Project(cols), stats) < 0;
+  });
+  return order;
+}
+
+}  // namespace
+
+Result<Relation> SortMergeJoin(const Relation& left, const Relation& right,
+                               const std::vector<JoinKey>& keys,
+                               JoinVariant variant,
+                               const PredicatePtr& predicate,
+                               ExecStats* stats) {
+  if (predicate != nullptr &&
+      (variant == JoinVariant::kSemi || variant == JoinVariant::kAnti)) {
+    return Status::InvalidArgument(
+        "semi/complement sort-merge joins take no residual predicate");
+  }
+  std::vector<size_t> lcols, rcols;
+  for (const JoinKey& k : keys) {
+    if (k.left >= left.arity() || k.right >= right.arity()) {
+      return Status::InvalidArgument("sort-merge key out of range");
+    }
+    lcols.push_back(k.left);
+    rcols.push_back(k.right);
+  }
+  std::vector<size_t> lorder = SortedOrder(left, lcols, stats);
+  std::vector<size_t> rorder = SortedOrder(right, rcols, stats);
+
+  size_t out_arity = left.arity();
+  if (variant == JoinVariant::kInner ||
+      variant == JoinVariant::kLeftOuter) {
+    out_arity += right.arity();
+  } else if (variant == JoinVariant::kMark) {
+    out_arity += 1;
+  }
+  Relation out(out_arity);
+
+  auto pad_nulls = [&](const Tuple& l) {
+    Tuple padded = l;
+    for (size_t i = 0; i < right.arity(); ++i) padded.Append(Value::Null());
+    return padded;
+  };
+  auto emit_mark = [&](const Tuple& l, bool found) {
+    Tuple marked = l;
+    marked.Append(found ? Value::Mark() : Value::Null());
+    out.Insert(std::move(marked));
+  };
+
+  size_t li = 0, rj = 0;
+  while (li < lorder.size()) {
+    const Tuple& lrow = left.rows()[lorder[li]];
+    Tuple lkey = lrow.Project(lcols);
+    // Constraint-guarded variants skip the merge for failing rows — the
+    // third clause of Definition 7.
+    if ((variant == JoinVariant::kLeftOuter ||
+         variant == JoinVariant::kMark) &&
+        predicate != nullptr &&
+        !predicate->Eval(lrow, &stats->comparisons)) {
+      if (variant == JoinVariant::kMark) {
+        emit_mark(lrow, false);
+      } else {
+        out.Insert(pad_nulls(lrow));
+      }
+      ++li;
+      continue;
+    }
+    // Advance the right side to the first key >= lkey.
+    while (rj < rorder.size() &&
+           CompareKeys(right.rows()[rorder[rj]].Project(rcols), lkey,
+                       stats) < 0) {
+      ++rj;
+    }
+    // Does the right side hold this key, and where does its group end?
+    size_t group_end = rj;
+    while (group_end < rorder.size() &&
+           CompareKeys(right.rows()[rorder[group_end]].Project(rcols), lkey,
+                       stats) == 0) {
+      ++group_end;
+    }
+    bool found = group_end > rj;
+    switch (variant) {
+      case JoinVariant::kInner:
+        for (size_t g = rj; g < group_end; ++g) {
+          Tuple joined = lrow.Concat(right.rows()[rorder[g]]);
+          if (predicate == nullptr ||
+              predicate->Eval(joined, &stats->comparisons)) {
+            out.Insert(std::move(joined));
+          }
+        }
+        break;
+      case JoinVariant::kSemi:
+        if (found) out.Insert(lrow);
+        break;
+      case JoinVariant::kAnti:
+        if (!found) out.Insert(lrow);
+        break;
+      case JoinVariant::kLeftOuter:
+        if (found) {
+          for (size_t g = rj; g < group_end; ++g) {
+            out.Insert(lrow.Concat(right.rows()[rorder[g]]));
+          }
+        } else {
+          out.Insert(pad_nulls(lrow));
+        }
+        break;
+      case JoinVariant::kMark:
+        emit_mark(lrow, found);
+        break;
+    }
+    ++li;
+    // Note: rj stays at the start of the current right group — the next
+    // left row may carry the same key.
+  }
+  stats->tuples_materialized += out.size();
+  return out;
+}
+
+}  // namespace bryql

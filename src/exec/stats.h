@@ -1,0 +1,51 @@
+#ifndef BRYQL_EXEC_STATS_H_
+#define BRYQL_EXEC_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace bryql {
+
+/// Instrumentation counters for one or more evaluations. These are the
+/// quantities the paper's efficiency arguments are phrased in: how many
+/// tuples are read from relations, how many comparisons are performed, and
+/// how much intermediate state is materialized.
+struct ExecStats {
+  /// Tuples read out of base relations (each Scan reads its relation once;
+  /// a relation scanned twice counts twice — the paper's "each range
+  /// relation is searched only once" property shows up here).
+  size_t tuples_scanned = 0;
+  /// Tuples inserted into intermediate state: hash tables, dedup sets, and
+  /// materialized results.
+  size_t tuples_materialized = 0;
+  /// Value comparisons performed by predicates and join-key checks.
+  size_t comparisons = 0;
+  /// Hash-table probes performed by join-family operators. The constrained
+  /// outer-join's "do not search U for tuples already found in T" property
+  /// (§3.3) shows up here.
+  size_t hash_probes = 0;
+  /// Operator instances evaluated (iterator openings).
+  size_t operators = 0;
+
+  void Add(const ExecStats& other) {
+    tuples_scanned += other.tuples_scanned;
+    tuples_materialized += other.tuples_materialized;
+    comparisons += other.comparisons;
+    hash_probes += other.hash_probes;
+    operators += other.operators;
+  }
+
+  std::string ToString() const {
+    std::string out;
+    out += "scanned=" + std::to_string(tuples_scanned);
+    out += " materialized=" + std::to_string(tuples_materialized);
+    out += " comparisons=" + std::to_string(comparisons);
+    out += " probes=" + std::to_string(hash_probes);
+    out += " operators=" + std::to_string(operators);
+    return out;
+  }
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_STATS_H_

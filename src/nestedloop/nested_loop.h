@@ -1,0 +1,46 @@
+#ifndef BRYQL_NESTEDLOOP_NESTED_LOOP_H_
+#define BRYQL_NESTEDLOOP_NESTED_LOOP_H_
+
+#include <map>
+#include <string>
+
+#include "calculus/parser.h"
+#include "common/result.h"
+#include "exec/stats.h"
+#include "storage/database.h"
+
+namespace bryql {
+
+/// The paper's Figure 1 baseline: one-tuple-at-a-time nested-loop
+/// evaluation performed directly on the calculus, with the loop nesting
+/// reflecting the quantifier nesting. Existential loops stop at the first
+/// witness, universal loops at the first counterexample — the symmetry the
+/// paper builds Rules 4/5 on.
+///
+/// This evaluator also serves as the reference semantics for testing the
+/// algebraic translators: it interprets the formula directly, sharing no
+/// code with them.
+class NestedLoopEvaluator {
+ public:
+  /// `db` must outlive the evaluator.
+  explicit NestedLoopEvaluator(const Database* db) : db_(db) {}
+
+  /// Evaluates a closed formula to a truth value. The formula must have
+  /// restricted quantifications (Definition 2); kUnsupported otherwise.
+  Result<bool> EvaluateClosed(const FormulaPtr& formula);
+
+  /// Evaluates an open query, returning a relation whose columns follow
+  /// `query.targets`.
+  Result<Relation> EvaluateOpen(const Query& query);
+
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats(); }
+
+ private:
+  const Database* db_;
+  ExecStats stats_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_NESTEDLOOP_NESTED_LOOP_H_

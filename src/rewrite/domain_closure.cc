@@ -1,0 +1,113 @@
+#include "rewrite/domain_closure.h"
+
+#include "calculus/range_analysis.h"
+
+namespace bryql {
+
+namespace {
+
+std::vector<FormulaPtr> Conjuncts(const FormulaPtr& f) {
+  if (f->kind() == FormulaKind::kAnd) return f->children();
+  return {f};
+}
+
+FormulaPtr DomAtom(const std::string& var) {
+  return Formula::Atom("dom", {Term::Var(var)});
+}
+
+Result<FormulaPtr> Fix(const FormulaPtr& f,
+                       const std::set<std::string>& outer);
+
+/// Repairs one existential block: recursively fixes the conjuncts, then
+/// prepends dom atoms for required variables until a safe order exists.
+Result<FormulaPtr> FixBlock(std::vector<FormulaPtr> conjuncts,
+                            const std::set<std::string>& required,
+                            const std::set<std::string>& outer) {
+  std::set<std::string> inner_outer = outer;
+  inner_outer.insert(required.begin(), required.end());
+  for (FormulaPtr& c : conjuncts) {
+    BRYQL_ASSIGN_OR_RETURN(c, Fix(c, inner_outer));
+  }
+  if (!SplitProducersAndFilters(conjuncts, required, outer)) {
+    // Insert dom ranges only for variables that cannot be ranged even
+    // with every other required variable assumed bound.
+    for (const std::string& v : required) {
+      std::set<std::string> others = outer;
+      for (const std::string& w : required) {
+        if (w != v) others.insert(w);
+      }
+      if (!SplitProducersAndFilters(conjuncts, {v}, others)) {
+        conjuncts.insert(conjuncts.begin(), DomAtom(v));
+      }
+    }
+    // Interdependent leftovers: dom everything still unranged.
+    if (!SplitProducersAndFilters(conjuncts, required, outer)) {
+      std::vector<FormulaPtr> doms;
+      for (const std::string& v : required) doms.push_back(DomAtom(v));
+      doms.insert(doms.end(), conjuncts.begin(), conjuncts.end());
+      conjuncts = std::move(doms);
+    }
+  }
+  return Formula::And(std::move(conjuncts));
+}
+
+Result<FormulaPtr> Fix(const FormulaPtr& f,
+                       const std::set<std::string>& outer) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare:
+      return f;
+    case FormulaKind::kNot: {
+      BRYQL_ASSIGN_OR_RETURN(FormulaPtr child, Fix(f->child(), outer));
+      if (child.get() == f->child().get()) return f;
+      return Formula::Not(std::move(child));
+    }
+    case FormulaKind::kAnd:
+      return FixBlock(f->children(), {}, outer);
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children().size());
+      for (const FormulaPtr& c : f->children()) {
+        BRYQL_ASSIGN_OR_RETURN(FormulaPtr nc, Fix(c, outer));
+        children.push_back(std::move(nc));
+      }
+      return Formula::Or(std::move(children));
+    }
+    case FormulaKind::kExists: {
+      std::set<std::string> required(f->vars().begin(), f->vars().end());
+      BRYQL_ASSIGN_OR_RETURN(
+          FormulaPtr body,
+          FixBlock(Conjuncts(f->child()), required, outer));
+      return Formula::Exists(f->vars(), std::move(body));
+    }
+    case FormulaKind::kForall:
+    case FormulaKind::kImplies:
+    case FormulaKind::kIff:
+      // Not canonical; leave for downstream rejection.
+      return f;
+  }
+  return f;
+}
+
+}  // namespace
+
+Result<FormulaPtr> ApplyDomainClosure(const FormulaPtr& formula,
+                                      const std::set<std::string>& targets) {
+  if (!targets.empty()) {
+    // The top level of an open query is a block that must range the
+    // targets; top-level disjunctions repair each branch.
+    if (formula->kind() == FormulaKind::kOr) {
+      std::vector<FormulaPtr> branches;
+      for (const FormulaPtr& c : formula->children()) {
+        BRYQL_ASSIGN_OR_RETURN(FormulaPtr b,
+                               FixBlock(Conjuncts(c), targets, {}));
+        branches.push_back(std::move(b));
+      }
+      return Formula::Or(std::move(branches));
+    }
+    return FixBlock(Conjuncts(formula), targets, {});
+  }
+  return Fix(formula, {});
+}
+
+}  // namespace bryql

@@ -1,0 +1,27 @@
+#ifndef BRYQL_REWRITE_DOMAIN_CLOSURE_H_
+#define BRYQL_REWRITE_DOMAIN_CLOSURE_H_
+
+#include <set>
+#include <string>
+
+#include "calculus/formula.h"
+#include "common/result.h"
+
+namespace bryql {
+
+/// Makes an arbitrary (canonical-form) query evaluable under the Domain
+/// Closure Assumption (§2.1): wherever a quantified or target variable has
+/// no range, a `dom(v)` range atom is inserted — "a query ¬p(x1,...,xn) is
+/// in consequence equivalent to dom(x1) ∧ ... ∧ dom(xn) ∧ ¬p(x1,...,xn)".
+/// The Database resolves the relation name `dom` to the active domain.
+///
+/// Only variables that actually lack a range get a dom atom; queries that
+/// are already restricted come back unchanged. The input should be in
+/// canonical form (no ∀/⇒/⇔); other shapes are left untouched and will
+/// still be rejected downstream.
+Result<FormulaPtr> ApplyDomainClosure(const FormulaPtr& formula,
+                                      const std::set<std::string>& targets);
+
+}  // namespace bryql
+
+#endif  // BRYQL_REWRITE_DOMAIN_CLOSURE_H_

@@ -1,0 +1,477 @@
+#include "rewrite/rewriter.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "calculus/analysis.h"
+#include "calculus/range_analysis.h"
+
+namespace bryql {
+
+const char* RuleName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kDoubleNegation:
+      return "R1:double-negation";
+    case RuleId::kDeMorganAnd:
+      return "R2:de-morgan-and";
+    case RuleId::kDeMorganOr:
+      return "R3:de-morgan-or";
+    case RuleId::kForallImplication:
+      return "R4:forall-implication";
+    case RuleId::kForallNegation:
+      return "R5:forall-negation";
+    case RuleId::kDropQuantifier:
+      return "R6:drop-quantifier";
+    case RuleId::kDropVariables:
+      return "R7:drop-variables";
+    case RuleId::kMiniscopeConjunction:
+      return "R8/9:miniscope";
+    case RuleId::kDistributeFilter:
+      return "R10/11:distribute-filter-disjunction";
+    case RuleId::kDistributeProducer:
+      return "R12/13:distribute-producer-disjunction";
+    case RuleId::kSplitDisjunction:
+      return "R14:split-quantified-disjunction";
+    case RuleId::kForallGeneric:
+      return "A15:forall-generic";
+    case RuleId::kImpliesToOr:
+      return "A16:implies-to-or";
+    case RuleId::kIffExpand:
+      return "A17:iff-expand";
+    case RuleId::kNegatedComparison:
+      return "A18:negated-comparison";
+  }
+  return "unknown-rule";
+}
+
+std::string RuleApplication::ToString() const {
+  std::string out = RuleName(rule);
+  out += " at [";
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ".";
+    out += std::to_string(path[i]);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+bool IntersectsVars(const std::set<std::string>& vars, const FormulaPtr& f) {
+  for (const std::string& v : f->FreeVariableSet()) {
+    if (vars.count(v)) return true;
+  }
+  return false;
+}
+
+/// Rebuilds ∃vars (And(parts minus index) ∧ replacement-disjunct d).
+FormulaPtr RebuildConjunctionWith(const std::vector<FormulaPtr>& parts,
+                                  size_t replaced_index, FormulaPtr d) {
+  std::vector<FormulaPtr> conjuncts;
+  conjuncts.reserve(parts.size());
+  for (size_t i = 0; i < parts.size(); ++i) {
+    conjuncts.push_back(i == replaced_index ? d : parts[i]);
+  }
+  return Formula::And(std::move(conjuncts));
+}
+
+/// Applies `rule` at `node` (whose enclosing quantifiers bind `outer`).
+/// Returns nullptr when the rule does not match there. `is_range_root` is
+/// true for the root of an open query, where Rules 12/13 also apply.
+FormulaPtr TryRule(RuleId rule, const FormulaPtr& node,
+                   const std::set<std::string>& outer, bool is_range_root,
+                   bool under_forall, const RewriteOptions& options) {
+  switch (rule) {
+    case RuleId::kDoubleNegation: {
+      if (node->kind() != FormulaKind::kNot) return nullptr;
+      const FormulaPtr& inner = node->child();
+      if (inner->kind() != FormulaKind::kNot) return nullptr;
+      return inner->child();
+    }
+    case RuleId::kDeMorganAnd:
+    case RuleId::kDeMorganOr: {
+      if (node->kind() != FormulaKind::kNot) return nullptr;
+      const FormulaPtr& inner = node->child();
+      FormulaKind want = rule == RuleId::kDeMorganAnd ? FormulaKind::kAnd
+                                                      : FormulaKind::kOr;
+      if (inner->kind() != want) return nullptr;
+      std::vector<FormulaPtr> negated;
+      negated.reserve(inner->children().size());
+      for (const FormulaPtr& c : inner->children()) {
+        negated.push_back(Formula::Not(c));
+      }
+      return want == FormulaKind::kAnd ? Formula::Or(std::move(negated))
+                                       : Formula::And(std::move(negated));
+    }
+    case RuleId::kForallImplication: {
+      if (node->kind() != FormulaKind::kForall) return nullptr;
+      const FormulaPtr& body = node->child();
+      if (body->kind() != FormulaKind::kImplies) return nullptr;
+      return Formula::Not(Formula::Exists(
+          node->vars(),
+          Formula::And(body->children()[0],
+                       Formula::Not(body->children()[1]))));
+    }
+    case RuleId::kForallNegation: {
+      if (node->kind() != FormulaKind::kForall) return nullptr;
+      const FormulaPtr& body = node->child();
+      if (body->kind() != FormulaKind::kNot) return nullptr;
+      return Formula::Not(Formula::Exists(node->vars(), body->child()));
+    }
+    case RuleId::kForallGeneric: {
+      if (node->kind() != FormulaKind::kForall) return nullptr;
+      const FormulaPtr& body = node->child();
+      // Rules 4/5 take precedence on their shapes.
+      if (body->kind() == FormulaKind::kImplies ||
+          body->kind() == FormulaKind::kNot) {
+        return nullptr;
+      }
+      return Formula::Not(
+          Formula::Exists(node->vars(), Formula::Not(body)));
+    }
+    case RuleId::kDropQuantifier: {
+      if (!node->is_quantifier()) return nullptr;
+      std::set<std::string> free = node->child()->FreeVariableSet();
+      for (const std::string& v : node->vars()) {
+        if (free.count(v)) return nullptr;
+      }
+      return node->child();
+    }
+    case RuleId::kDropVariables: {
+      if (!node->is_quantifier()) return nullptr;
+      std::set<std::string> free = node->child()->FreeVariableSet();
+      std::vector<std::string> kept;
+      for (const std::string& v : node->vars()) {
+        if (free.count(v)) kept.push_back(v);
+      }
+      if (kept.empty() || kept.size() == node->vars().size()) return nullptr;
+      return node->kind() == FormulaKind::kExists
+                 ? Formula::Exists(std::move(kept), node->child())
+                 : Formula::Forall(std::move(kept), node->child());
+    }
+    case RuleId::kMiniscopeConjunction: {
+      if (!options.miniscope) return nullptr;
+      if (node->kind() != FormulaKind::kExists) return nullptr;
+      const FormulaPtr& body = node->child();
+      if (body->kind() != FormulaKind::kAnd) return nullptr;
+      std::set<std::string> vars(node->vars().begin(), node->vars().end());
+      std::vector<FormulaPtr> stay, escape;
+      for (const FormulaPtr& part : body->children()) {
+        (IntersectsVars(vars, part) ? stay : escape).push_back(part);
+      }
+      if (escape.empty() || stay.empty()) return nullptr;
+      std::vector<FormulaPtr> conjuncts = std::move(escape);
+      conjuncts.push_back(
+          Formula::Exists(node->vars(), Formula::And(std::move(stay))));
+      return Formula::And(std::move(conjuncts));
+    }
+    case RuleId::kDistributeFilter: {
+      if (!options.distribute_filter_disjunctions) return nullptr;
+      if (node->kind() != FormulaKind::kExists) return nullptr;
+      const FormulaPtr& body = node->child();
+      if (body->kind() != FormulaKind::kAnd) return nullptr;
+      std::set<std::string> vars(node->vars().begin(), node->vars().end());
+      // Rules 8/9 take precedence: while some conjunct is entirely free of
+      // the quantified variables it must move out *before* any
+      // distribution copies it into every branch — otherwise the shared
+      // factor can never be re-factored and the normal form would depend
+      // on the rule order.
+      for (const FormulaPtr& part : body->children()) {
+        if (!IntersectsVars(vars, part)) return nullptr;
+      }
+      // Condition (†) blocks atoms mentioning the quantified variables or
+      // the variables they govern; governs is computed over the full body.
+      std::set<std::string> blocked = vars;
+      std::set<std::string> governed = GovernedVariables(node->vars(), body);
+      blocked.insert(governed.begin(), governed.end());
+      const std::vector<FormulaPtr>& parts = body->children();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        const FormulaPtr& d = parts[i];
+        if (d->kind() != FormulaKind::kOr) continue;
+        // An entirely xi-free disjunction moves out whole via Rules 8/9;
+        // distributing it as well would break confluence, so skip it here.
+        if (!IntersectsVars(vars, d)) continue;
+        // Condition (†): split off each disjunct containing an atom clear
+        // of `blocked`; keep the others grouped. (The paper's binary rules
+        // preserve sub-disjunction grouping by construction; splitting
+        // everything would make the normal form depend on how flattened
+        // the ∨ was when the rule fired.)
+        std::vector<FormulaPtr> escapable, grouped;
+        for (const FormulaPtr& disjunct : d->children()) {
+          (HasAtomClearOf(disjunct, blocked) ? escapable : grouped)
+              .push_back(disjunct);
+        }
+        if (escapable.empty()) continue;
+        std::vector<FormulaPtr> split;
+        for (const FormulaPtr& disjunct : escapable) {
+          split.push_back(Formula::Exists(
+              node->vars(), RebuildConjunctionWith(parts, i, disjunct)));
+        }
+        if (!grouped.empty()) {
+          split.push_back(Formula::Exists(
+              node->vars(),
+              RebuildConjunctionWith(parts, i, Formula::Or(grouped))));
+        }
+        return Formula::Or(std::move(split));
+      }
+      return nullptr;
+    }
+    case RuleId::kDistributeProducer: {
+      if (!options.distribute_producer_disjunctions) return nullptr;
+      // Applies at an ∃ node, or at the root conjunction of an open query.
+      const FormulaPtr* body_ptr = nullptr;
+      std::set<std::string> local_outer = outer;
+      if (node->kind() == FormulaKind::kExists) {
+        body_ptr = &node->child();
+      } else if (is_range_root && node->kind() == FormulaKind::kAnd) {
+        body_ptr = &node;
+      } else {
+        return nullptr;
+      }
+      const FormulaPtr& body = *body_ptr;
+      if (body->kind() != FormulaKind::kAnd) return nullptr;
+      const std::vector<FormulaPtr>& parts = body->children();
+      // Choose the producer/filter assignment of the block (Definition 5):
+      // conjuncts placed as producers form the range; the rest are
+      // filters. A disjunction *used as a producer* distributes (Q2 → Q3
+      // in §2.3); disjunctive filters are kept. When the block is
+      // ambiguous ("both arguments may be considered as producers"), the
+      // split prefers writing order, matching the paper's examples.
+      std::set<std::string> required;
+      if (node->kind() == FormulaKind::kExists) {
+        required.insert(node->vars().begin(), node->vars().end());
+      }
+      auto split = SplitProducersAndFilters(parts, required, local_outer);
+      if (!split) return nullptr;  // unsafe block; reported at translation
+      const Formula* chosen = nullptr;
+      for (size_t i = 0; i < split->ordered.size(); ++i) {
+        if (split->is_producer[i] &&
+            split->ordered[i]->kind() == FormulaKind::kOr) {
+          chosen = split->ordered[i].get();
+          break;
+        }
+      }
+      if (chosen == nullptr) return nullptr;
+      size_t index = parts.size();
+      for (size_t i = 0; i < parts.size(); ++i) {
+        if (parts[i].get() == chosen) {
+          index = i;
+          break;
+        }
+      }
+      if (index == parts.size()) return nullptr;
+      std::vector<FormulaPtr> branches;
+      branches.reserve(parts[index]->children().size());
+      for (const FormulaPtr& disjunct : parts[index]->children()) {
+        branches.push_back(RebuildConjunctionWith(parts, index, disjunct));
+      }
+      FormulaPtr distributed = Formula::Or(std::move(branches));
+      if (node->kind() == FormulaKind::kExists) {
+        return Formula::Exists(node->vars(), std::move(distributed));
+      }
+      return distributed;
+    }
+    case RuleId::kSplitDisjunction: {
+      if (!options.distribute_producer_disjunctions) return nullptr;
+      if (node->kind() != FormulaKind::kExists) return nullptr;
+      const FormulaPtr& body = node->child();
+      if (body->kind() != FormulaKind::kOr) return nullptr;
+      std::vector<FormulaPtr> branches;
+      branches.reserve(body->children().size());
+      for (const FormulaPtr& disjunct : body->children()) {
+        std::set<std::string> free = disjunct->FreeVariableSet();
+        std::vector<std::string> kept;
+        for (const std::string& v : node->vars()) {
+          if (free.count(v)) kept.push_back(v);
+        }
+        branches.push_back(kept.empty()
+                               ? disjunct
+                               : Formula::Exists(std::move(kept), disjunct));
+      }
+      return Formula::Or(std::move(branches));
+    }
+    case RuleId::kImpliesToOr: {
+      if (node->kind() != FormulaKind::kImplies) return nullptr;
+      // "The connective => will be used only for expressing ranges": an
+      // implication directly under a ∀ is that quantifier's range form
+      // and belongs to Rule 4.
+      if (under_forall) return nullptr;
+      return Formula::Or(Formula::Not(node->children()[0]),
+                         node->children()[1]);
+    }
+    case RuleId::kIffExpand: {
+      if (node->kind() != FormulaKind::kIff) return nullptr;
+      const FormulaPtr& a = node->children()[0];
+      const FormulaPtr& b = node->children()[1];
+      return Formula::And(Formula::Or(Formula::Not(a), b),
+                          Formula::Or(Formula::Not(b), a));
+    }
+    case RuleId::kNegatedComparison: {
+      if (node->kind() != FormulaKind::kNot) return nullptr;
+      const FormulaPtr& inner = node->child();
+      if (inner->kind() != FormulaKind::kCompare) return nullptr;
+      return Formula::Compare(NegateCompareOp(inner->compare_op()),
+                              inner->lhs(), inner->rhs());
+    }
+  }
+  return nullptr;
+}
+
+constexpr RuleId kAllRules[] = {
+    RuleId::kDoubleNegation,     RuleId::kDeMorganAnd,
+    RuleId::kDeMorganOr,         RuleId::kForallImplication,
+    RuleId::kForallNegation,     RuleId::kDropQuantifier,
+    RuleId::kDropVariables,      RuleId::kMiniscopeConjunction,
+    RuleId::kDistributeFilter,   RuleId::kDistributeProducer,
+    RuleId::kSplitDisjunction,   RuleId::kForallGeneric,
+    RuleId::kImpliesToOr,        RuleId::kIffExpand,
+    RuleId::kNegatedComparison,
+};
+
+/// Enumerates redexes bottom-up. Returns true when the subtree rooted at
+/// `node` contains at least one application.
+///
+/// The distribution rules (10/11 and 12/13) are *gated*: they fire only
+/// when no other redex exists below the node. Distribution copies
+/// conjuncts and regroups disjuncts, so firing it while a disjunct is
+/// still being desugared (⇒/⇔ elimination, ∀ reduction, De Morgan,
+/// Rule 14 splits — all of which flatten into the enclosing ∨) would make
+/// the final grouping depend on the reduction order, breaking the
+/// Church-Rosser property. The gate is a function of the formula alone,
+/// so it is order-independent; and since the ungated rules are noetherian,
+/// a gated redex always fires eventually.
+bool FindApplicationsImpl(const FormulaPtr& node,
+                          const std::set<std::string>& outer,
+                          bool is_range_root, bool under_forall,
+                          const RewriteOptions& options,
+                          std::vector<int>* path,
+                          std::vector<RuleApplication>* out) {
+  // Recurse first. Quantifiers extend the outer-bound set for their
+  // bodies.
+  std::set<std::string> child_outer = outer;
+  if (node->is_quantifier()) {
+    child_outer.insert(node->vars().begin(), node->vars().end());
+  }
+  bool below = false;
+  for (size_t i = 0; i < node->children().size(); ++i) {
+    path->push_back(static_cast<int>(i));
+    below |= FindApplicationsImpl(node->children()[i], child_outer,
+                                  /*is_range_root=*/false,
+                                  node->kind() == FormulaKind::kForall,
+                                  options, path, out);
+    path->pop_back();
+  }
+  bool here = false;
+  for (RuleId rule : kAllRules) {
+    bool gated = rule == RuleId::kDistributeFilter ||
+                 rule == RuleId::kDistributeProducer;
+    if (gated && below) continue;
+    if (TryRule(rule, node, outer, is_range_root, under_forall, options) !=
+        nullptr) {
+      out->push_back({rule, *path});
+      here = true;
+    }
+  }
+  return below || here;
+}
+
+Result<FormulaPtr> ApplyAtPath(const FormulaPtr& node,
+                               const RuleApplication& app, size_t depth,
+                               const std::set<std::string>& outer,
+                               bool is_range_root, bool under_forall,
+                               const RewriteOptions& options) {
+  if (depth == app.path.size()) {
+    FormulaPtr result = TryRule(app.rule, node, outer, is_range_root,
+                                under_forall, options);
+    if (result == nullptr) {
+      return Status::Internal("rule " + app.ToString() +
+                              " does not match at its path");
+    }
+    return result;
+  }
+  size_t index = static_cast<size_t>(app.path[depth]);
+  if (index >= node->children().size()) {
+    return Status::Internal("stale path in " + app.ToString());
+  }
+  std::set<std::string> child_outer = outer;
+  if (node->is_quantifier()) {
+    child_outer.insert(node->vars().begin(), node->vars().end());
+  }
+  BRYQL_ASSIGN_OR_RETURN(
+      FormulaPtr new_child,
+      ApplyAtPath(node->children()[index], app, depth + 1, child_outer,
+                  /*is_range_root=*/false,
+                  node->kind() == FormulaKind::kForall, options));
+  std::vector<FormulaPtr> children = node->children();
+  children[index] = std::move(new_child);
+  switch (node->kind()) {
+    case FormulaKind::kNot:
+      return Formula::Not(children[0]);
+    case FormulaKind::kAnd:
+      return Formula::And(std::move(children));
+    case FormulaKind::kOr:
+      return Formula::Or(std::move(children));
+    case FormulaKind::kImplies:
+      return Formula::Implies(children[0], children[1]);
+    case FormulaKind::kIff:
+      return Formula::Iff(children[0], children[1]);
+    case FormulaKind::kExists:
+      return Formula::Exists(node->vars(), children[0]);
+    case FormulaKind::kForall:
+      return Formula::Forall(node->vars(), children[0]);
+    default:
+      return Status::Internal("path descends into a leaf");
+  }
+}
+
+}  // namespace
+
+std::vector<RuleApplication> FindApplications(const FormulaPtr& formula,
+                                              const std::set<std::string>& outer,
+                                              const RewriteOptions& options) {
+  std::vector<RuleApplication> out;
+  std::vector<int> path;
+  FindApplicationsImpl(formula, outer, /*is_range_root=*/true,
+                       /*under_forall=*/false, options, &path, &out);
+  return out;
+}
+
+Result<FormulaPtr> ApplyRule(const FormulaPtr& formula,
+                             const RuleApplication& application,
+                             const std::set<std::string>& outer) {
+  return ApplyAtPath(formula, application, 0, outer, /*is_range_root=*/true,
+                     /*under_forall=*/false, RewriteOptions{});
+}
+
+Result<NormalizeResult> Normalize(const FormulaPtr& formula,
+                                  const std::set<std::string>& outer,
+                                  const RewriteOptions& options) {
+  NormalizeResult result;
+  result.formula = formula;
+  while (result.trace.size() < options.max_steps) {
+    std::vector<RuleApplication> apps =
+        FindApplications(result.formula, outer, options);
+    if (apps.empty()) return result;
+    const RuleApplication& app = apps.front();
+    BRYQL_ASSIGN_OR_RETURN(FormulaPtr next,
+                           ApplyAtPath(result.formula, app, 0, outer,
+                                       /*is_range_root=*/true,
+                                       /*under_forall=*/false, options));
+    result.formula = std::move(next);
+    result.trace.push_back(app);
+    ++result.rule_counts[app.rule];
+  }
+  return Status::Internal("normalization exceeded max_steps (" +
+                          std::to_string(options.max_steps) +
+                          ") — non-termination would contradict "
+                          "Proposition 1");
+}
+
+Result<NormalizeResult> NormalizeQuery(const Query& query,
+                                       const RewriteOptions& options) {
+  // Target variables are *produced by* the query, not bound outside it, so
+  // they are not "outer" — the root block must range them itself.
+  return Normalize(query.formula, {}, options);
+}
+
+}  // namespace bryql

@@ -1,0 +1,71 @@
+#ifndef BRYQL_REWRITE_REWRITER_H_
+#define BRYQL_REWRITE_REWRITER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "calculus/formula.h"
+#include "calculus/parser.h"
+#include "common/result.h"
+#include "rewrite/rules.h"
+
+namespace bryql {
+
+/// Knobs for normalization. The defaults produce the paper's canonical
+/// form; switching groups off yields the ablation baselines of DESIGN.md §4.
+struct RewriteOptions {
+  /// Rules 8/9 (and the miniscope side of 10/11): minimize scopes.
+  bool miniscope = true;
+  /// Rules 10/11: distribute quantifications over (†)-disjunctions.
+  bool distribute_filter_disjunctions = true;
+  /// Rules 12/14: distribute producer disjunctions and split quantifiers.
+  bool distribute_producer_disjunctions = true;
+  /// Safety valve; normalization of any sane query takes far fewer steps.
+  size_t max_steps = 200000;
+};
+
+/// Outcome of a normalization: the canonical formula plus a full trace.
+struct NormalizeResult {
+  FormulaPtr formula;
+  /// One entry per rule application, in application order.
+  std::vector<RuleApplication> trace;
+  /// Applications per rule, for reporting.
+  std::map<RuleId, size_t> rule_counts;
+
+  size_t steps() const { return trace.size(); }
+};
+
+/// Phase 1 of the paper: rewrites a query into canonical form with the
+/// 14-rule system of §2. Deterministic: redexes are reduced in
+/// leftmost-outermost order, so equal inputs give equal outputs; by the
+/// Church-Rosser property (Proposition 2) any other order would converge to
+/// the same formula, which tests/rewrite_property_test.cc exercises.
+///
+/// `outer` holds variables to treat as bound from outside — for an open
+/// query, its target variables.
+Result<NormalizeResult> Normalize(const FormulaPtr& formula,
+                                  const std::set<std::string>& outer = {},
+                                  const RewriteOptions& options = {});
+
+/// Normalizes `query.formula` with the targets as outer variables.
+Result<NormalizeResult> NormalizeQuery(const Query& query,
+                                       const RewriteOptions& options = {});
+
+/// Enumerates every redex of `formula`, in leftmost-outermost order. The
+/// low-level API behind Normalize; exposed for the confluence and
+/// termination property tests, which apply redexes in randomized orders.
+std::vector<RuleApplication> FindApplications(
+    const FormulaPtr& formula, const std::set<std::string>& outer = {},
+    const RewriteOptions& options = {});
+
+/// Applies one redex found by FindApplications to the same formula.
+/// Returns kInternal if the application does not match (e.g. stale path).
+Result<FormulaPtr> ApplyRule(const FormulaPtr& formula,
+                             const RuleApplication& application,
+                             const std::set<std::string>& outer = {});
+
+}  // namespace bryql
+
+#endif  // BRYQL_REWRITE_REWRITER_H_

@@ -1,0 +1,61 @@
+#ifndef BRYQL_REWRITE_RULES_H_
+#define BRYQL_REWRITE_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace bryql {
+
+/// The rewriting rules of the canonical form (§2 of the paper), plus four
+/// auxiliary desugaring rules the paper performs implicitly ("in other
+/// contexts an expression F1 ⇒ F2 is supposed to be written as ¬F1 ∨ F2").
+///
+/// Rules 1-3 are named in the paper but their statements fall in a figure
+/// missing from the available text; the surrounding prose ("classical
+/// rewriting rules" for nested negations that "do not transform negated
+/// quantifications") fixes them as double negation elimination and the two
+/// De Morgan laws — see DESIGN.md.
+///
+/// The paper states Rules 8/9 and 10/11 and 12/13 as left/right mirror
+/// pairs over binary connectives; on our flattened n-ary And/Or nodes each
+/// pair collapses into one rule, and the paper's Rule 9 for θ=∨ coincides
+/// with Rule 14.
+enum class RuleId {
+  kDoubleNegation = 1,       // Rule 1: ¬¬F → F
+  kDeMorganAnd = 2,          // Rule 2: ¬(F1 ∧ F2) → ¬F1 ∨ ¬F2
+  kDeMorganOr = 3,           // Rule 3: ¬(F1 ∨ F2) → ¬F1 ∧ ¬F2
+  kForallImplication = 4,    // Rule 4: ∀x̄ R ⇒ F → ¬(∃x̄ R ∧ ¬F)
+  kForallNegation = 5,       // Rule 5: ∀x̄ ¬R → ¬(∃x̄ R)
+  kDropQuantifier = 6,       // Rule 6: ∃x̄ F → F, no xi free in F
+  kDropVariables = 7,        // Rule 7: ∃x̄ F → ∃(x̄ ∩ free(F)) F
+  kMiniscopeConjunction = 8,  // Rules 8/9 (θ=∧): move xi-free conjuncts out
+  kDistributeFilter = 10,    // Rules 10/11: distribute over a disjunction
+                             // containing an atom free of x̄ and of the
+                             // variables governed by x̄ (condition †)
+  kDistributeProducer = 12,  // Rules 12/13: distribute a non-filter
+                             // (producer) disjunction inside a range
+  kSplitDisjunction = 14,    // Rule 14 (and Rules 8/9 for θ=∨):
+                             // ∃x̄ (R1 ∨ R2) → (∃.. R1) ∨ (∃.. R2)
+
+  // Auxiliary desugaring (implicit in the paper's conventions):
+  kForallGeneric = 15,       // ∀x̄ F → ¬(∃x̄ ¬F) for other body shapes
+  kImpliesToOr = 16,         // F1 ⇒ F2 → ¬F1 ∨ F2 outside ∀ ranges
+  kIffExpand = 17,           // F1 ⇔ F2 → (¬F1 ∨ F2) ∧ (¬F2 ∨ F1)
+  kNegatedComparison = 18,   // ¬(t1 op t2) → t1 op' t2
+};
+
+/// Human-readable rule name, e.g. "R4:forall-implication".
+const char* RuleName(RuleId rule);
+
+/// A concrete redex: `rule` applies at the node reached from the root by
+/// following child indices `path`.
+struct RuleApplication {
+  RuleId rule;
+  std::vector<int> path;
+
+  std::string ToString() const;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_REWRITE_RULES_H_

@@ -1,0 +1,38 @@
+#include "storage/builder.h"
+
+namespace bryql {
+
+Relation UnaryStrings(std::initializer_list<std::string> values) {
+  Relation rel(1);
+  for (const std::string& v : values) rel.Insert(Tuple({Value::String(v)}));
+  return rel;
+}
+
+Relation UnaryInts(std::initializer_list<int64_t> values) {
+  Relation rel(1);
+  for (int64_t v : values) rel.Insert(Tuple({Value::Int(v)}));
+  return rel;
+}
+
+Relation StringPairs(
+    std::initializer_list<std::pair<std::string, std::string>> pairs) {
+  Relation rel(2);
+  for (const auto& [a, b] : pairs) {
+    rel.Insert(Tuple({Value::String(a), Value::String(b)}));
+  }
+  return rel;
+}
+
+Tuple Strs(std::initializer_list<std::string> values) {
+  Tuple t;
+  for (const std::string& v : values) t.Append(Value::String(v));
+  return t;
+}
+
+Tuple Ints(std::initializer_list<int64_t> values) {
+  Tuple t;
+  for (int64_t v : values) t.Append(Value::Int(v));
+  return t;
+}
+
+}  // namespace bryql

@@ -1,0 +1,33 @@
+#ifndef BRYQL_STORAGE_BUILDER_H_
+#define BRYQL_STORAGE_BUILDER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace bryql {
+
+/// Test/example helpers for writing relation literals tersely.
+
+/// A unary relation of strings: U({"a","b"}).
+Relation UnaryStrings(std::initializer_list<std::string> values);
+
+/// A unary relation of ints.
+Relation UnaryInts(std::initializer_list<int64_t> values);
+
+/// A binary relation of string pairs: Pairs({{"a","x"},{"b","y"}}).
+Relation StringPairs(
+    std::initializer_list<std::pair<std::string, std::string>> pairs);
+
+/// A tuple of string values, e.g. Strs({"a", "b"}).
+Tuple Strs(std::initializer_list<std::string> values);
+
+/// A tuple of int values.
+Tuple Ints(std::initializer_list<int64_t> values);
+
+}  // namespace bryql
+
+#endif  // BRYQL_STORAGE_BUILDER_H_

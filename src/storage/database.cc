@@ -1,0 +1,77 @@
+#include "storage/database.h"
+
+namespace bryql {
+
+void Database::Put(const std::string& name, Relation relation) {
+  relations_.insert_or_assign(name, std::move(relation));
+  ++version_;
+}
+
+Status Database::PutRows(const std::string& name, std::vector<Tuple> rows) {
+  BRYQL_ASSIGN_OR_RETURN(Relation rel, Relation::FromRows(std::move(rows)));
+  Put(name, std::move(rel));
+  return Status::Ok();
+}
+
+Result<const Relation*> Database::Get(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) return &it->second;
+  if (name == "dom") {
+    if (domain_cache_version_ != version_) {
+      domain_cache_ = ActiveDomain();
+      domain_cache_version_ = version_;
+    }
+    return &domain_cache_;
+  }
+  return Status::NotFound("no relation named '" + name + "'");
+}
+
+Result<size_t> Database::ArityOf(const std::string& name) const {
+  BRYQL_ASSIGN_OR_RETURN(const Relation* rel, Get(name));
+  return rel->arity();
+}
+
+Status Database::BuildIndex(const std::string& name, size_t column) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  if (column >= it->second.arity()) {
+    return Status::InvalidArgument(
+        "no column " + std::to_string(column) + " in relation '" + name +
+        "' of arity " + std::to_string(it->second.arity()));
+  }
+  it->second.BuildIndex(column);
+  return Status::Ok();
+}
+
+void Database::BuildAllIndexes() {
+  for (auto& [name, rel] : relations_) {
+    for (size_t c = 0; c < rel.arity(); ++c) rel.BuildIndex(c);
+  }
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  return names;
+}
+
+Relation Database::ActiveDomain() const {
+  Relation dom(1);
+  for (const auto& [name, rel] : relations_) {
+    for (const Tuple& t : rel.rows()) {
+      for (const Value& v : t.values()) dom.Insert(Tuple({v}));
+    }
+  }
+  return dom;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel.size();
+  return n;
+}
+
+}  // namespace bryql

@@ -1,0 +1,78 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bryql {
+
+Result<Relation> Relation::FromRows(std::vector<Tuple> rows) {
+  if (rows.empty()) return Relation(0);
+  Relation rel(rows.front().arity());
+  for (Tuple& t : rows) {
+    if (t.arity() != rel.arity()) {
+      return Status::InvalidArgument(
+          "FromRows: mixed arities " + std::to_string(rel.arity()) + " and " +
+          std::to_string(t.arity()));
+    }
+    rel.Insert(std::move(t));
+  }
+  return rel;
+}
+
+bool Relation::Insert(Tuple tuple) {
+  assert(tuple.arity() == arity_);
+  auto [it, inserted] = index_.insert(tuple);
+  (void)it;
+  if (!inserted) return false;
+  for (auto& [column, column_index] : column_indexes_) {
+    column_index[tuple.at(column)].push_back(rows_.size());
+  }
+  rows_.push_back(std::move(tuple));
+  return true;
+}
+
+void Relation::BuildIndex(size_t column) {
+  assert(column < arity_);
+  ColumnIndex built;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    built[rows_[i].at(column)].push_back(i);
+  }
+  column_indexes_[column] = std::move(built);
+}
+
+const std::vector<size_t>& Relation::Matches(size_t column,
+                                             const Value& value) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = column_indexes_.find(column);
+  assert(it != column_indexes_.end());
+  auto vit = it->second.find(value);
+  return vit == it->second.end() ? kEmpty : vit->second;
+}
+
+std::vector<Tuple> Relation::SortedRows() const {
+  std::vector<Tuple> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (a.arity_ != b.arity_ || a.size() != b.size()) return false;
+  for (const Tuple& t : a.rows_) {
+    if (!b.Contains(t)) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const {
+  std::string out = "[";
+  out += std::to_string(size());
+  out += " tuples, arity ";
+  out += std::to_string(arity_);
+  out += "]\n";
+  for (const Tuple& t : rows_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace bryql

@@ -1,0 +1,89 @@
+#ifndef BRYQL_STORAGE_RELATION_H_
+#define BRYQL_STORAGE_RELATION_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace bryql {
+
+/// A relation under set semantics: a duplicate-free collection of tuples of
+/// one arity. Insertion order is preserved for deterministic iteration and
+/// readable test output; membership is hash-indexed.
+///
+/// The relational model of the paper is pure sets (domain calculus), so the
+/// engine works with Relation everywhere — base tables and intermediate
+/// results alike.
+class Relation {
+ public:
+  /// An empty relation of the given arity. Arity 0 relations model the two
+  /// boolean constants: {} is false, {()} is true.
+  explicit Relation(size_t arity = 0) : arity_(arity) {}
+
+  /// Builds a relation from rows; duplicate rows collapse. All rows must
+  /// have the same arity.
+  static Result<Relation> FromRows(std::vector<Tuple> rows);
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts a tuple; returns true when the tuple was new. The tuple's
+  /// arity must match the relation's.
+  bool Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return index_.count(tuple) != 0;
+  }
+
+  /// Tuples in insertion order.
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Rows sorted by value — canonical order for comparisons in tests.
+  std::vector<Tuple> SortedRows() const;
+
+  /// Set equality (order-insensitive).
+  friend bool operator==(const Relation& a, const Relation& b);
+  friend bool operator!=(const Relation& a, const Relation& b) {
+    return !(a == b);
+  }
+
+  /// Multi-line rendering, one tuple per line, in insertion order.
+  std::string ToString() const;
+
+  /// --- secondary hash indexes -------------------------------------
+  /// A per-column hash index maps a value to the row positions holding
+  /// it. Indexes are maintained incrementally by Insert. Both evaluation
+  /// engines exploit them: the streaming executor turns
+  /// σ_{col=val}(scan) into an index lookup, and the Figure 1
+  /// interpreter enumerates atoms through the index of a bound argument.
+
+  /// Builds (or rebuilds) the index on `column`. Must be < arity().
+  void BuildIndex(size_t column);
+  bool HasIndex(size_t column) const {
+    return column_indexes_.count(column) != 0;
+  }
+  /// Row positions whose `column` equals `value` (empty when none).
+  /// HasIndex(column) must hold.
+  const std::vector<size_t>& Matches(size_t column,
+                                     const Value& value) const;
+
+ private:
+  using ColumnIndex = std::unordered_map<Value, std::vector<size_t>,
+                                         ValueHash>;
+
+  size_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> index_;
+  std::map<size_t, ColumnIndex> column_indexes_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_STORAGE_RELATION_H_

@@ -1,0 +1,63 @@
+#ifndef BRYQL_STORAGE_TUPLE_H_
+#define BRYQL_STORAGE_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/hash_util.h"
+#include "common/value.h"
+
+namespace bryql {
+
+/// A fixed-arity row of domain values. Tuples are plain value vectors:
+/// column naming lives in Schema, positional access everywhere else, which
+/// matches the paper's positional algebra (attributes 1..n).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Appends a value; used by operators assembling wider tuples.
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// The concatenation (*this, other) — the building block of joins.
+  Tuple Concat(const Tuple& other) const;
+
+  /// The positional projection (values[indices[0]], ...). Indices may
+  /// repeat or reorder.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// Renders "(v1, v2, ...)".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+  size_t Hash() const {
+    size_t h = 0x51ed270b;
+    for (const Value& v : values_) h = HashCombine(h, v.Hash());
+    return h;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_STORAGE_TUPLE_H_

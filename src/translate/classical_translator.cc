@@ -1,0 +1,488 @@
+#include "translate/classical_translator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "calculus/range_analysis.h"
+
+namespace bryql {
+
+namespace {
+
+constexpr size_t kMaxDnfDisjuncts = 256;
+
+/// Negation normal form with negations pushed through quantifiers too —
+/// the classical methods consider prenex forms, so ¬∃ becomes ∀¬ and
+/// conversely (unlike the paper's Rules 1-3, which stop at quantifiers).
+FormulaPtr ToNnf(const FormulaPtr& f, bool negated) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+      return negated ? Formula::Not(f) : f;
+    case FormulaKind::kCompare:
+      return negated ? Formula::Compare(NegateCompareOp(f->compare_op()),
+                                        f->lhs(), f->rhs())
+                     : f;
+    case FormulaKind::kNot:
+      return ToNnf(f->child(), !negated);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children().size());
+      for (const FormulaPtr& c : f->children()) {
+        children.push_back(ToNnf(c, negated));
+      }
+      bool and_out = (f->kind() == FormulaKind::kAnd) != negated;
+      return and_out ? Formula::And(std::move(children))
+                     : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kImplies: {
+      FormulaPtr as_or = Formula::Or(Formula::Not(f->children()[0]),
+                                     f->children()[1]);
+      return ToNnf(as_or, negated);
+    }
+    case FormulaKind::kIff: {
+      const FormulaPtr& a = f->children()[0];
+      const FormulaPtr& b = f->children()[1];
+      FormulaPtr expanded =
+          Formula::And(Formula::Or(Formula::Not(a), b),
+                       Formula::Or(Formula::Not(b), a));
+      return ToNnf(expanded, negated);
+    }
+    case FormulaKind::kExists: {
+      FormulaPtr body = ToNnf(f->child(), negated);
+      return negated ? Formula::Forall(f->vars(), std::move(body))
+                     : Formula::Exists(f->vars(), std::move(body));
+    }
+    case FormulaKind::kForall: {
+      FormulaPtr body = ToNnf(f->child(), negated);
+      return negated ? Formula::Exists(f->vars(), std::move(body))
+                     : Formula::Forall(f->vars(), std::move(body));
+    }
+  }
+  return f;
+}
+
+struct PrefixEntry {
+  FormulaKind kind;  // kExists or kForall
+  std::string var;
+};
+
+/// Pulls quantifiers to the front, renaming to fresh names so that every
+/// prefix variable is unique and capture-free.
+class Prenexer {
+ public:
+  FormulaPtr Pull(const FormulaPtr& f, std::vector<PrefixEntry>* prefix) {
+    switch (f->kind()) {
+      case FormulaKind::kAtom:
+      case FormulaKind::kCompare:
+        return f;
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        std::map<std::string, Term> renaming;
+        std::vector<std::string> fresh_vars;
+        for (const std::string& v : f->vars()) {
+          std::string fresh = v + "@" + std::to_string(counter_++);
+          renaming.emplace(v, Term::Var(fresh));
+          fresh_vars.push_back(fresh);
+        }
+        FormulaPtr renamed = Substitute(f->child(), renaming);
+        for (const std::string& fresh : fresh_vars) {
+          prefix->push_back({f->kind(), fresh});
+        }
+        return Pull(renamed, prefix);
+      }
+      case FormulaKind::kNot:
+        // NNF guarantees the child is an atom or comparison.
+        return f;
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr: {
+        std::vector<FormulaPtr> children;
+        children.reserve(f->children().size());
+        for (const FormulaPtr& c : f->children()) {
+          children.push_back(Pull(c, prefix));
+        }
+        return f->kind() == FormulaKind::kAnd
+                   ? Formula::And(std::move(children))
+                   : Formula::Or(std::move(children));
+      }
+      default:
+        return f;
+    }
+  }
+
+ private:
+  size_t counter_ = 0;
+};
+
+/// Distributes ∧ over ∨: the matrix in disjunctive normal form, as a list
+/// of literal lists. Returns false when the expansion exceeds the cap.
+bool ToDnf(const FormulaPtr& f, std::vector<std::vector<FormulaPtr>>* out) {
+  switch (f->kind()) {
+    case FormulaKind::kOr: {
+      for (const FormulaPtr& c : f->children()) {
+        if (!ToDnf(c, out)) return false;
+      }
+      return out->size() <= kMaxDnfDisjuncts;
+    }
+    case FormulaKind::kAnd: {
+      std::vector<std::vector<FormulaPtr>> acc = {{}};
+      for (const FormulaPtr& c : f->children()) {
+        std::vector<std::vector<FormulaPtr>> child_dnf;
+        if (!ToDnf(c, &child_dnf)) return false;
+        std::vector<std::vector<FormulaPtr>> next;
+        for (const auto& left : acc) {
+          for (const auto& right : child_dnf) {
+            std::vector<FormulaPtr> merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.push_back(std::move(merged));
+            if (next.size() > kMaxDnfDisjuncts) return false;
+          }
+        }
+        acc = std::move(next);
+      }
+      out->insert(out->end(), acc.begin(), acc.end());
+      return out->size() <= kMaxDnfDisjuncts;
+    }
+    default:
+      out->push_back({f});
+      return true;
+  }
+}
+
+/// Three-valued fold used to decide whether a variable's atom-derived
+/// range is sound (see Reduce).
+enum class Constant { kTrue, kFalse, kOther };
+
+bool MentionsVarDeep(const FormulaPtr& f, const std::string& v) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+    case FormulaKind::kCompare: {
+      for (const Term& t : f->terms()) {
+        if (t.is_variable() && t.var() == v) return true;
+      }
+      return false;
+    }
+    default:
+      for (const FormulaPtr& c : f->children()) {
+        if (MentionsVarDeep(c, v)) return true;
+      }
+      return false;
+  }
+}
+
+/// The truth value of the v-dependent part of the NNF matrix when `v`
+/// lies outside every atom mentioning it: positive v-atoms false, negated
+/// ones true, comparisons on v never constant. Subformulas not mentioning
+/// v are skipped: their value is the same for every v, so (given the
+/// nonempty-range guard in RangeOf) they can neither create an
+/// out-of-range-only witness (∃ reads kFalse) nor an out-of-range-only
+/// counterexample (∀ reads kTrue).
+Constant FoldOutside(const FormulaPtr& f, const std::string& v) {
+  switch (f->kind()) {
+    case FormulaKind::kAtom:
+      return Constant::kFalse;  // caller ensures f mentions v
+    case FormulaKind::kNot:
+      return Constant::kTrue;  // NNF: negation wraps an atom
+    case FormulaKind::kCompare:
+      return Constant::kOther;
+    case FormulaKind::kAnd: {
+      bool all_true = true;
+      for (const FormulaPtr& c : f->children()) {
+        if (!MentionsVarDeep(c, v)) continue;
+        Constant t = FoldOutside(c, v);
+        if (t == Constant::kFalse) return Constant::kFalse;
+        all_true &= t == Constant::kTrue;
+      }
+      return all_true ? Constant::kTrue : Constant::kOther;
+    }
+    case FormulaKind::kOr: {
+      bool all_false = true;
+      for (const FormulaPtr& c : f->children()) {
+        if (!MentionsVarDeep(c, v)) continue;
+        Constant t = FoldOutside(c, v);
+        if (t == Constant::kTrue) return Constant::kTrue;
+        all_false &= t == Constant::kFalse;
+      }
+      return all_false ? Constant::kFalse : Constant::kOther;
+    }
+    default:
+      return Constant::kOther;
+  }
+}
+
+class ClassicalImpl {
+ public:
+  explicit ClassicalImpl(const Database* db) : db_(db) {}
+
+  /// Reduces `formula` (free variables = targets, in this order) to an
+  /// algebra expression whose columns follow `targets`.
+  Result<ExprPtr> Reduce(const FormulaPtr& formula,
+                         const std::vector<std::string>& targets) {
+    FormulaPtr nnf = ToNnf(formula, /*negated=*/false);
+    std::vector<PrefixEntry> prefix;
+    Prenexer prenexer;
+    FormulaPtr matrix = prenexer.Pull(nnf, &prefix);
+
+    // Column layout: targets first, then the prefix variables in order.
+    std::vector<std::string> columns = targets;
+    for (const PrefixEntry& e : prefix) columns.push_back(e.var);
+
+    // Collect positive-atom ranges over the matrix.
+    CollectRanges(matrix);
+
+    std::vector<std::vector<FormulaPtr>> dnf;
+    if (!ToDnf(matrix, &dnf) || dnf.empty()) {
+      return Status::Unsupported(
+          "classical reduction: DNF expansion too large");
+    }
+
+    // The initial cartesian product of all variable ranges. An
+    // atom-derived range is sound only when the matrix is *constant*
+    // (false for ∃/free variables, true for ∀) once the variable lies
+    // outside all of its atoms — otherwise answers could involve domain
+    // values no atom reaches and the variable must range over "dom".
+    std::map<std::string, FormulaKind> quantifier_of;
+    for (const PrefixEntry& e : prefix) quantifier_of[e.var] = e.kind;
+    ExprPtr product;
+    for (const std::string& v : columns) {
+      auto qit = quantifier_of.find(v);
+      FormulaKind kind = qit == quantifier_of.end() ? FormulaKind::kExists
+                                                    : qit->second;
+      Constant outside = FoldOutside(matrix, v);
+      bool atoms_sound = kind == FormulaKind::kForall
+                             ? outside == Constant::kTrue
+                             : outside == Constant::kFalse;
+      BRYQL_ASSIGN_OR_RETURN(ExprPtr range,
+                             atoms_sound ? RangeOf(v) : Expr::Scan("dom"));
+      product = product == nullptr ? std::move(range)
+                                   : Expr::Product(product, std::move(range));
+    }
+    if (product == nullptr) {
+      // A closed, variable-free query.
+      Relation unit(0);
+      unit.Insert(Tuple{});
+      product = Expr::Literal(std::move(unit));
+    }
+
+    // Apply the matrix: one filtered copy of the product per disjunct.
+    ExprPtr applied;
+    for (const std::vector<FormulaPtr>& disjunct : dnf) {
+      BRYQL_ASSIGN_OR_RETURN(ExprPtr one,
+                             ApplyLiterals(product, columns, disjunct));
+      applied = applied == nullptr ? std::move(one)
+                                   : Expr::Union(applied, std::move(one));
+    }
+
+    // Process the prefix innermost-first: ∃ projects the last column out,
+    // ∀ divides by the variable's range (the same range that entered the
+    // product, so quotient semantics line up).
+    ExprPtr plan = std::move(applied);
+    size_t width = columns.size();
+    for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+      if (it->kind == FormulaKind::kExists) {
+        std::vector<size_t> cols(width - 1);
+        for (size_t i = 0; i + 1 < width; ++i) cols[i] = i;
+        plan = Expr::Project(std::move(plan), std::move(cols));
+      } else {
+        bool atoms_sound = FoldOutside(matrix, it->var) == Constant::kTrue;
+        BRYQL_ASSIGN_OR_RETURN(
+            ExprPtr divisor,
+            atoms_sound ? RangeOf(it->var) : Expr::Scan("dom"));
+        plan = Expr::Division(std::move(plan), std::move(divisor));
+      }
+      --width;
+    }
+    return plan;
+  }
+
+ private:
+  /// Registers every atom — of either polarity — as a range source for
+  /// its variables. A universally quantified variable's range atom appears
+  /// *negated* in the NNF matrix (∀x R ⇒ F becomes ¬R ∨ F), so negative
+  /// occurrences must contribute; this matches the typed-range semantics
+  /// of [JS 82] and is sound for domain-independent (canonical) queries.
+  void CollectRanges(const FormulaPtr& f) {
+    switch (f->kind()) {
+      case FormulaKind::kAtom: {
+        for (size_t i = 0; i < f->terms().size(); ++i) {
+          if (f->terms()[i].is_variable()) {
+            range_sources_[f->terms()[i].var()].push_back({f, i});
+          }
+        }
+        return;
+      }
+      case FormulaKind::kCompare:
+        return;  // comparisons do not provide ranges
+      default:
+        for (const FormulaPtr& c : f->children()) CollectRanges(c);
+        return;
+    }
+  }
+
+  /// The range of a variable: the union of projections of its atoms, or
+  /// the active domain when it has none — or when every source relation
+  /// is empty, since an empty range would wrongly empty the whole product
+  /// even for vacuously-true universals.
+  Result<ExprPtr> RangeOf(const std::string& var) {
+    auto it = range_sources_.find(var);
+    bool nonempty_source = false;
+    if (it != range_sources_.end()) {
+      for (const auto& [atom, index] : it->second) {
+        auto rel = db_->Get(atom->predicate());
+        if (rel.ok() && !(*rel)->empty()) {
+          nonempty_source = true;
+          break;
+        }
+      }
+    }
+    if (it == range_sources_.end() || it->second.empty() ||
+        !nonempty_source) {
+      // No atom ranges this variable: fall back to the whole database
+      // domain (Codd's original reduction; the "dom" view of §2.1).
+      return Expr::Scan("dom");
+    }
+    ExprPtr acc;
+    for (const auto& [atom, index] : it->second) {
+      BRYQL_ASSIGN_OR_RETURN(size_t arity, db_->ArityOf(atom->predicate()));
+      if (arity != atom->terms().size()) {
+        return Status::InvalidArgument("atom arity mismatch for '" +
+                                       atom->predicate() + "'");
+      }
+      ExprPtr one = Expr::Project(Expr::Scan(atom->predicate()), {index});
+      acc = acc == nullptr ? std::move(one)
+                           : Expr::Union(acc, std::move(one));
+    }
+    return acc;
+  }
+
+  /// Applies one DNF disjunct's literals to the product: semi-joins for
+  /// positive atoms, complement-less anti-joins for negative ones,
+  /// selections for comparisons.
+  Result<ExprPtr> ApplyLiterals(ExprPtr product,
+                                const std::vector<std::string>& columns,
+                                const std::vector<FormulaPtr>& literals) {
+    auto col_of = [&](const std::string& var) -> int {
+      for (size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == var) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    ExprPtr plan = std::move(product);
+    for (const FormulaPtr& lit : literals) {
+      bool negated = lit->kind() == FormulaKind::kNot;
+      const FormulaPtr& core = negated ? lit->child() : lit;
+      if (core->kind() == FormulaKind::kCompare) {
+        CompareOp op = negated ? NegateCompareOp(core->compare_op())
+                               : core->compare_op();
+        const Term& l = core->lhs();
+        const Term& r = core->rhs();
+        PredicatePtr pred;
+        if (l.is_variable() && r.is_variable()) {
+          int lc = col_of(l.var());
+          int rc = col_of(r.var());
+          if (lc < 0 || rc < 0) {
+            return Status::Unsupported("free variable in comparison: " +
+                                       core->ToString());
+          }
+          pred = Predicate::ColCol(op, lc, rc);
+        } else if (l.is_variable()) {
+          int lc = col_of(l.var());
+          if (lc < 0) {
+            return Status::Unsupported("free variable in comparison");
+          }
+          pred = Predicate::ColVal(op, lc, r.constant());
+        } else if (r.is_variable()) {
+          int rc = col_of(r.var());
+          if (rc < 0) {
+            return Status::Unsupported("free variable in comparison");
+          }
+          CompareOp mirrored = op;
+          if (op == CompareOp::kLt) mirrored = CompareOp::kGt;
+          if (op == CompareOp::kLe) mirrored = CompareOp::kGe;
+          if (op == CompareOp::kGt) mirrored = CompareOp::kLt;
+          if (op == CompareOp::kGe) mirrored = CompareOp::kLe;
+          pred = Predicate::ColVal(mirrored, rc, l.constant());
+        } else {
+          bool truth = CompareValues(op, l.constant(), r.constant());
+          pred = truth ? Predicate::True()
+                       : Predicate::Not(Predicate::True());
+        }
+        plan = Expr::Select(std::move(plan), std::move(pred));
+        continue;
+      }
+      if (core->kind() != FormulaKind::kAtom) {
+        return Status::Internal("non-literal in DNF matrix: " +
+                                lit->ToString());
+      }
+      // Build the atom source: selections for constants and repeats, and
+      // keys pairing product columns with atom argument positions.
+      BRYQL_ASSIGN_OR_RETURN(size_t arity, db_->ArityOf(core->predicate()));
+      if (arity != core->terms().size()) {
+        return Status::InvalidArgument("atom arity mismatch for '" +
+                                       core->predicate() + "'");
+      }
+      std::vector<PredicatePtr> conditions;
+      std::vector<JoinKey> keys;
+      std::map<std::string, size_t> first_pos;
+      for (size_t i = 0; i < core->terms().size(); ++i) {
+        const Term& t = core->terms()[i];
+        if (t.is_constant()) {
+          conditions.push_back(
+              Predicate::ColVal(CompareOp::kEq, i, t.constant()));
+          continue;
+        }
+        auto [fit, inserted] = first_pos.emplace(t.var(), i);
+        if (!inserted) {
+          conditions.push_back(
+              Predicate::ColCol(CompareOp::kEq, fit->second, i));
+          continue;
+        }
+        int col = col_of(t.var());
+        if (col < 0) {
+          return Status::Unsupported("free variable in atom: " +
+                                     core->ToString());
+        }
+        keys.push_back({static_cast<size_t>(col), i});
+      }
+      ExprPtr source = Expr::Scan(core->predicate());
+      if (!conditions.empty()) {
+        source = Expr::Select(std::move(source),
+                              Predicate::And(std::move(conditions)));
+      }
+      plan = negated
+                 ? Expr::AntiJoin(std::move(plan), std::move(source), keys)
+                 : Expr::SemiJoin(std::move(plan), std::move(source), keys);
+    }
+    return plan;
+  }
+
+  const Database* db_;
+  std::map<std::string, std::vector<std::pair<FormulaPtr, size_t>>>
+      range_sources_;
+};
+
+}  // namespace
+
+Result<ExprPtr> ClassicalTranslator::TranslateClosed(
+    const FormulaPtr& formula) const {
+  if (!formula->FreeVariables().empty()) {
+    return Status::InvalidArgument(
+        "TranslateClosed requires a closed formula");
+  }
+  ClassicalImpl impl(db_);
+  BRYQL_ASSIGN_OR_RETURN(ExprPtr plan, impl.Reduce(formula, {}));
+  return Expr::NonEmpty(std::move(plan));
+}
+
+Result<TranslatedQuery> ClassicalTranslator::TranslateOpen(
+    const Query& query) const {
+  if (query.closed()) {
+    return Status::InvalidArgument("TranslateOpen requires targets");
+  }
+  ClassicalImpl impl(db_);
+  BRYQL_ASSIGN_OR_RETURN(ExprPtr plan,
+                         impl.Reduce(query.formula, query.targets));
+  return TranslatedQuery{std::move(plan), query.targets};
+}
+
+}  // namespace bryql

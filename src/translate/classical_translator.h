@@ -1,0 +1,48 @@
+#ifndef BRYQL_TRANSLATE_CLASSICAL_TRANSLATOR_H_
+#define BRYQL_TRANSLATE_CLASSICAL_TRANSLATOR_H_
+
+#include "algebra/expr.h"
+#include "calculus/parser.h"
+#include "common/result.h"
+#include "storage/database.h"
+#include "translate/translator.h"
+
+namespace bryql {
+
+/// The conventional reduction-based translation the paper improves on
+/// [COD 72, PAL 72, JS 82, CG 85]:
+///
+///   1. the query is put in prenex normal form (negations pushed through
+///      quantifiers, quantifiers pulled to a prefix, renaming as needed);
+///   2. the cartesian product of the *ranges of all variables* is built —
+///      per [JS 82/CG 85], a variable's range is the union of projections
+///      of its positive atoms, falling back to the active domain ("dom",
+///      Domain Closure Assumption) when it has none;
+///   3. the matrix, in disjunctive normal form, is applied to the product
+///      (semi/anti-joins for atoms, selections for comparisons, a union
+///      per disjunct);
+///   4. the prefix is processed innermost-first: projections for ∃,
+///      divisions by the variable's range for ∀.
+///
+/// This is the baseline whose initial cartesian product "usually retains
+/// much more tuples than needed" and whose divisions eliminate them "too
+/// late" [DAY 83] — the quantity benchmarks E4/E9 measure.
+class ClassicalTranslator {
+ public:
+  /// `db` is used to validate arities and to materialize the active
+  /// domain for range-less variables; it must outlive calls.
+  explicit ClassicalTranslator(const Database* db) : db_(db) {}
+
+  /// Translates a closed query: NonEmpty over the reduced expression.
+  Result<ExprPtr> TranslateClosed(const FormulaPtr& formula) const;
+
+  /// Translates an open query; columns follow `query.targets`.
+  Result<TranslatedQuery> TranslateOpen(const Query& query) const;
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_TRANSLATE_CLASSICAL_TRANSLATOR_H_

@@ -1,0 +1,948 @@
+#include "translate/translator.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "algebra/cost_model.h"
+#include "calculus/range_analysis.h"
+
+namespace bryql {
+
+namespace {
+
+/// A relation-in-progress: column i of `expr` holds variable `frame[i]`.
+struct Block {
+  ExprPtr expr;
+  std::vector<std::string> frame;
+
+  int ColOf(const std::string& var) const {
+    for (size_t i = 0; i < frame.size(); ++i) {
+      if (frame[i] == var) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+std::vector<FormulaPtr> Conjuncts(const FormulaPtr& f) {
+  if (f->kind() == FormulaKind::kAnd) return f->children();
+  return {f};
+}
+
+std::set<std::string> ToSet(const std::vector<std::string>& v) {
+  return std::set<std::string>(v.begin(), v.end());
+}
+
+/// Equi-join keys pairing equal variables of two frames.
+std::vector<JoinKey> SharedKeys(const std::vector<std::string>& left,
+                                const std::vector<std::string>& right) {
+  std::vector<JoinKey> keys;
+  for (size_t i = 0; i < left.size(); ++i) {
+    for (size_t j = 0; j < right.size(); ++j) {
+      if (left[i] == right[j]) {
+        keys.push_back({i, j});
+        break;
+      }
+    }
+  }
+  return keys;
+}
+
+class TranslatorImpl {
+ public:
+  TranslatorImpl(const Database* db, const TranslateOptions& options)
+      : db_(db), options_(options) {}
+
+  /// Translates a closed formula to an arity-0 boolean expression.
+  Result<ExprPtr> Closed(const FormulaPtr& f) {
+    switch (f->kind()) {
+      case FormulaKind::kAnd: {
+        std::vector<ExprPtr> parts;
+        parts.reserve(f->children().size());
+        for (const FormulaPtr& c : f->children()) {
+          BRYQL_ASSIGN_OR_RETURN(ExprPtr e, Closed(c));
+          parts.push_back(std::move(e));
+        }
+        return Expr::BoolAnd(std::move(parts));
+      }
+      case FormulaKind::kOr: {
+        std::vector<ExprPtr> parts;
+        parts.reserve(f->children().size());
+        for (const FormulaPtr& c : f->children()) {
+          BRYQL_ASSIGN_OR_RETURN(ExprPtr e, Closed(c));
+          parts.push_back(std::move(e));
+        }
+        return Expr::BoolOr(std::move(parts));
+      }
+      case FormulaKind::kNot: {
+        BRYQL_ASSIGN_OR_RETURN(ExprPtr e, Closed(f->child()));
+        return Expr::BoolNot(std::move(e));
+      }
+      case FormulaKind::kExists: {
+        // The §3.2 faithful translation: a non-emptiness test over the
+        // block, evaluated with early termination.
+        std::set<std::string> required(f->vars().begin(), f->vars().end());
+        BRYQL_ASSIGN_OR_RETURN(
+            Block block,
+            TranslateBlock(Conjuncts(f->child()), required, std::nullopt));
+        return Expr::NonEmpty(block.expr);
+      }
+      case FormulaKind::kAtom: {
+        BRYQL_ASSIGN_OR_RETURN(Block source, AtomSource(f));
+        return Expr::NonEmpty(source.expr);
+      }
+      case FormulaKind::kCompare: {
+        if (!f->lhs().is_constant() || !f->rhs().is_constant()) {
+          return Status::Unsupported("unbound comparison in closed query: " +
+                                     f->ToString());
+        }
+        Relation boolean(0);
+        if (CompareValues(f->compare_op(), f->lhs().constant(),
+                          f->rhs().constant())) {
+          boolean.Insert(Tuple{});
+        }
+        return Expr::NonEmpty(Expr::Literal(std::move(boolean)));
+      }
+      default:
+        return Status::Unsupported(
+            "non-canonical connective in closed query (normalize first): " +
+            f->ToString());
+    }
+  }
+
+  /// Translates an open branch over exactly `targets` (in order).
+  Result<ExprPtr> OpenBranch(const FormulaPtr& f,
+                             const std::vector<std::string>& targets) {
+    std::set<std::string> free = f->FreeVariableSet();
+    for (const std::string& t : targets) {
+      if (!free.count(t)) {
+        return Status::Unsupported("target variable '" + t +
+                                   "' is not free in branch: " +
+                                   f->ToString());
+      }
+    }
+    BRYQL_ASSIGN_OR_RETURN(
+        Block block, TranslateBlock(Conjuncts(f), ToSet(targets),
+                                    std::nullopt));
+    std::vector<size_t> cols;
+    cols.reserve(targets.size());
+    for (const std::string& t : targets) {
+      int col = block.ColOf(t);
+      if (col < 0) {
+        return Status::Internal("target '" + t + "' missing from block");
+      }
+      cols.push_back(static_cast<size_t>(col));
+    }
+    return Expr::Project(block.expr, std::move(cols));
+  }
+
+ private:
+  /// A Block scanning one atom: selections for constants and repeated
+  /// variables, projected to one column per distinct variable.
+  Result<Block> AtomSource(const FormulaPtr& atom) {
+    BRYQL_ASSIGN_OR_RETURN(size_t arity, db_->ArityOf(atom->predicate()));
+    if (arity != atom->terms().size()) {
+      return Status::InvalidArgument(
+          "atom '" + atom->predicate() + "' has " +
+          std::to_string(atom->terms().size()) + " arguments but relation " +
+          "has arity " + std::to_string(arity));
+    }
+    std::vector<PredicatePtr> conditions;
+    std::vector<std::string> frame;
+    std::vector<size_t> cols;
+    for (size_t i = 0; i < atom->terms().size(); ++i) {
+      const Term& t = atom->terms()[i];
+      if (t.is_constant()) {
+        conditions.push_back(
+            Predicate::ColVal(CompareOp::kEq, i, t.constant()));
+        continue;
+      }
+      int first = -1;
+      for (size_t j = 0; j < frame.size(); ++j) {
+        if (frame[j] == t.var()) {
+          first = static_cast<int>(cols[j]);
+          break;
+        }
+      }
+      if (first >= 0) {
+        conditions.push_back(Predicate::ColCol(
+            CompareOp::kEq, static_cast<size_t>(first), i));
+      } else {
+        frame.push_back(t.var());
+        cols.push_back(i);
+      }
+    }
+    ExprPtr e = Expr::Scan(atom->predicate());
+    if (!conditions.empty()) {
+      e = Expr::Select(std::move(e), Predicate::And(std::move(conditions)));
+    }
+    if (cols.size() != arity) {
+      e = Expr::Project(std::move(e), cols);
+    }
+    return Block{std::move(e), std::move(frame)};
+  }
+
+  /// Translates a producer standalone (no outer context).
+  Result<Block> Producer(const FormulaPtr& f) {
+    switch (f->kind()) {
+      case FormulaKind::kAtom:
+        return AtomSource(f);
+      case FormulaKind::kAnd:
+        return TranslateBlock(f->children(), f->FreeVariableSet(),
+                              std::nullopt);
+      case FormulaKind::kOr: {
+        // Definition 1 case 3: every branch ranges the same variables.
+        std::optional<Block> acc;
+        for (const FormulaPtr& d : f->children()) {
+          BRYQL_ASSIGN_OR_RETURN(Block branch, Producer(d));
+          if (!acc) {
+            acc = std::move(branch);
+            continue;
+          }
+          BRYQL_ASSIGN_OR_RETURN(ExprPtr aligned,
+                                 ProjectToFrame(branch, acc->frame));
+          acc->expr = Expr::Union(acc->expr, std::move(aligned));
+        }
+        if (!acc) return Status::Internal("empty disjunction");
+        return *acc;
+      }
+      case FormulaKind::kExists: {
+        // Definition 1 case 5: a range with local projection.
+        std::set<std::string> required(f->vars().begin(), f->vars().end());
+        std::set<std::string> free = f->FreeVariableSet();
+        required.insert(free.begin(), free.end());
+        BRYQL_ASSIGN_OR_RETURN(
+            Block block,
+            TranslateBlock(Conjuncts(f->child()), required, std::nullopt));
+        return ProjectToVars(block, free);
+      }
+      case FormulaKind::kCompare: {
+        // x = c: a one-tuple relation.
+        const Term& l = f->lhs();
+        const Term& r = f->rhs();
+        if (f->compare_op() == CompareOp::kEq && l.is_variable() &&
+            r.is_constant()) {
+          Relation rel(1);
+          rel.Insert(Tuple({r.constant()}));
+          return Block{Expr::Literal(std::move(rel)), {l.var()}};
+        }
+        if (f->compare_op() == CompareOp::kEq && r.is_variable() &&
+            l.is_constant()) {
+          Relation rel(1);
+          rel.Insert(Tuple({l.constant()}));
+          return Block{Expr::Literal(std::move(rel)), {r.var()}};
+        }
+        return Status::Unsupported("comparison is not a producer: " +
+                                   f->ToString());
+      }
+      default:
+        return Status::Unsupported("not a producer: " + f->ToString());
+    }
+  }
+
+  /// Projects `block.expr` to the column order given by `frame` (every
+  /// variable of `frame` must be in the block).
+  Result<ExprPtr> ProjectToFrame(const Block& block,
+                                 const std::vector<std::string>& frame) {
+    std::vector<size_t> cols;
+    cols.reserve(frame.size());
+    for (const std::string& v : frame) {
+      int col = block.ColOf(v);
+      if (col < 0) {
+        return Status::Unsupported("disjunctive range branches bind "
+                                   "different variables ('" +
+                                   v + "' missing)");
+      }
+      cols.push_back(static_cast<size_t>(col));
+    }
+    if (cols.size() == block.frame.size()) {
+      bool identity = true;
+      for (size_t i = 0; i < cols.size(); ++i) identity &= cols[i] == i;
+      if (identity) return block.expr;
+    }
+    return Expr::Project(block.expr, std::move(cols));
+  }
+
+  /// Projects a block to the subset `vars` (keeping block order).
+  Result<Block> ProjectToVars(const Block& block,
+                              const std::set<std::string>& vars) {
+    std::vector<std::string> frame;
+    for (const std::string& v : block.frame) {
+      if (vars.count(v)) frame.push_back(v);
+    }
+    BRYQL_ASSIGN_OR_RETURN(ExprPtr e, ProjectToFrame(block, frame));
+    return Block{std::move(e), std::move(frame)};
+  }
+
+  /// The workhorse: translates a conjunction into a Block over the
+  /// produced variables. With `ctx`, translation starts from the context
+  /// block (correlated subqueries — Proposition 4 cases 2b/5) and the
+  /// result's frame begins with ctx->frame.
+  Result<Block> TranslateBlock(const std::vector<FormulaPtr>& conjuncts,
+                               const std::set<std::string>& required,
+                               std::optional<Block> ctx) {
+    std::set<std::string> outer =
+        ctx ? ToSet(ctx->frame) : std::set<std::string>{};
+    auto split = SplitProducersAndFilters(conjuncts, required, outer);
+    if (!split) {
+      return Status::Unsupported(
+          "no range found for the variables of: " +
+          Formula::And(conjuncts)->ToString());
+    }
+    Block block = ctx ? std::move(*ctx)
+                      : Block{nullptr, {}};
+    for (size_t i = 0; i < split->ordered.size(); ++i) {
+      const FormulaPtr& c = split->ordered[i];
+      bool adds_vars = false;
+      for (const std::string& v : c->FreeVariableSet()) {
+        if (block.ColOf(v) < 0) adds_vars = true;
+      }
+      if (split->is_producer[i] && adds_vars) {
+        BRYQL_RETURN_NOT_OK(ExtendWithProducer(&block, c));
+      } else {
+        BRYQL_RETURN_NOT_OK(ApplyFilter(&block, c));
+      }
+    }
+    if (block.expr == nullptr) {
+      // A block of only closed filters: the boolean unit.
+      Relation unit(0);
+      unit.Insert(Tuple{});
+      block.expr = Expr::Literal(std::move(unit));
+    }
+    return block;
+  }
+
+  /// Joins producer `c` onto the block (or starts the block with it).
+  Status ExtendWithProducer(Block* block, const FormulaPtr& c) {
+    // Aliasing producers: x = y with y already in the frame.
+    if (c->kind() == FormulaKind::kCompare) {
+      const Term& l = c->lhs();
+      const Term& r = c->rhs();
+      bool l_new = l.is_variable() && block->ColOf(l.var()) < 0;
+      bool r_new = r.is_variable() && block->ColOf(r.var()) < 0;
+      if (c->compare_op() == CompareOp::kEq && (l_new != r_new)) {
+        const Term& fresh = l_new ? l : r;
+        const Term& known = l_new ? r : l;
+        if (known.is_variable()) {
+          // Append a duplicate of the known column under the new name.
+          std::vector<size_t> cols(block->frame.size());
+          for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+          cols.push_back(
+              static_cast<size_t>(block->ColOf(known.var())));
+          block->expr = Expr::Project(block->expr, std::move(cols));
+          block->frame.push_back(fresh.var());
+          return Status::Ok();
+        }
+      }
+      // x = constant producers (possibly starting the block).
+      BRYQL_ASSIGN_OR_RETURN(Block lit, Producer(c));
+      MergeDisconnected(block, std::move(lit));
+      return Status::Ok();
+    }
+    // A producer needing context variables beyond what it produces is
+    // translated *into* the block (Proposition 4's correlated shapes).
+    std::set<std::string> outer = ToSet(block->frame);
+    auto produced = ProducedVariables(c, outer);
+    bool standalone = produced.has_value();
+    if (standalone) {
+      for (const std::string& v : c->FreeVariableSet()) {
+        if (!produced->count(v)) standalone = false;
+      }
+    }
+    if (standalone) {
+      BRYQL_ASSIGN_OR_RETURN(Block sub, Producer(c));
+      if (block->expr == nullptr) {
+        *block = std::move(sub);
+        return Status::Ok();
+      }
+      std::vector<JoinKey> keys = SharedKeys(block->frame, sub.frame);
+      ExprPtr joined = Expr::Join(block->expr, sub.expr, keys);
+      // Keep block columns, then the new variables of the producer.
+      std::vector<size_t> cols(block->frame.size());
+      for (size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+      std::vector<std::string> frame = block->frame;
+      for (size_t j = 0; j < sub.frame.size(); ++j) {
+        if (block->ColOf(sub.frame[j]) < 0) {
+          cols.push_back(block->frame.size() + j);
+          frame.push_back(sub.frame[j]);
+        }
+      }
+      block->expr = Expr::Project(std::move(joined), std::move(cols));
+      block->frame = std::move(frame);
+      return Status::Ok();
+    }
+    // Correlated producer: push the block down as context.
+    switch (c->kind()) {
+      case FormulaKind::kAnd: {
+        BRYQL_ASSIGN_OR_RETURN(
+            Block extended,
+            TranslateBlock(c->children(), c->FreeVariableSet(),
+                           std::move(*block)));
+        *block = std::move(extended);
+        return Status::Ok();
+      }
+      case FormulaKind::kExists: {
+        size_t keep = block->frame.size();
+        std::set<std::string> want = c->FreeVariableSet();
+        BRYQL_ASSIGN_OR_RETURN(
+            Block extended,
+            TranslateBlock(Conjuncts(c->child()),
+                           std::set<std::string>(c->vars().begin(),
+                                                 c->vars().end()),
+                           std::move(*block)));
+        // Keep the context columns plus c's free variables; the
+        // quantified variables project away.
+        std::vector<size_t> cols;
+        std::vector<std::string> frame;
+        for (size_t i = 0; i < extended.frame.size(); ++i) {
+          if (i < keep || want.count(extended.frame[i])) {
+            cols.push_back(i);
+            frame.push_back(extended.frame[i]);
+          }
+        }
+        block->expr = Expr::Project(extended.expr, std::move(cols));
+        block->frame = std::move(frame);
+        return Status::Ok();
+      }
+      case FormulaKind::kOr: {
+        // Correlated disjunctive producer: extend per branch, union.
+        std::optional<Block> acc;
+        for (const FormulaPtr& d : c->children()) {
+          Block copy = *block;
+          BRYQL_RETURN_NOT_OK(ExtendWithProducer(&copy, d));
+          if (!acc) {
+            acc = std::move(copy);
+            continue;
+          }
+          BRYQL_ASSIGN_OR_RETURN(ExprPtr aligned,
+                                 ProjectToFrame(copy, acc->frame));
+          acc->expr = Expr::Union(acc->expr, std::move(aligned));
+        }
+        *block = std::move(*acc);
+        return Status::Ok();
+      }
+      default:
+        return Status::Unsupported("cannot translate producer: " +
+                                   c->ToString());
+    }
+  }
+
+  /// Cross-product merge for a producer sharing no variables.
+  void MergeDisconnected(Block* block, Block other) {
+    if (block->expr == nullptr) {
+      *block = std::move(other);
+      return;
+    }
+    block->expr = Expr::Product(block->expr, other.expr);
+    block->frame.insert(block->frame.end(), other.frame.begin(),
+                        other.frame.end());
+  }
+
+  /// Applies a filter to the block (frame unchanged).
+  Status ApplyFilter(Block* block, const FormulaPtr& f) {
+    if (block->expr == nullptr) {
+      // Closed filters ahead of any producer guard the boolean unit.
+      Relation unit(0);
+      unit.Insert(Tuple{});
+      block->expr = Expr::Literal(std::move(unit));
+    }
+    switch (f->kind()) {
+      case FormulaKind::kCompare: {
+        BRYQL_ASSIGN_OR_RETURN(PredicatePtr pred,
+                               ComparePredicate(*block, f));
+        block->expr = Expr::Select(block->expr, std::move(pred));
+        return Status::Ok();
+      }
+      case FormulaKind::kAtom: {
+        BRYQL_ASSIGN_OR_RETURN(Block sub, AtomSource(f));
+        block->expr = Expr::SemiJoin(block->expr, sub.expr,
+                                     SharedKeys(block->frame, sub.frame));
+        return Status::Ok();
+      }
+      case FormulaKind::kAnd: {
+        for (const FormulaPtr& c : f->children()) {
+          BRYQL_RETURN_NOT_OK(ApplyFilter(block, c));
+        }
+        return Status::Ok();
+      }
+      case FormulaKind::kNot: {
+        const FormulaPtr& inner = f->child();
+        switch (inner->kind()) {
+          case FormulaKind::kCompare: {
+            FormulaPtr folded =
+                Formula::Compare(NegateCompareOp(inner->compare_op()),
+                                 inner->lhs(), inner->rhs());
+            return ApplyFilter(block, folded);
+          }
+          case FormulaKind::kAtom: {
+            // The complement-join (Definition 6): the negated conjunct
+            // costs one anti-probe per block tuple, not a difference plus
+            // a join (§3.1).
+            BRYQL_ASSIGN_OR_RETURN(Block sub, AtomSource(inner));
+            block->expr =
+                Expr::AntiJoin(block->expr, sub.expr,
+                               SharedKeys(block->frame, sub.frame));
+            return Status::Ok();
+          }
+          case FormulaKind::kExists:
+            return ApplyQuantifiedFilter(block, inner, /*negated=*/true);
+          default:
+            return Status::Unsupported(
+                "non-canonical negation (normalize first): " +
+                f->ToString());
+        }
+      }
+      case FormulaKind::kExists:
+        return ApplyQuantifiedFilter(block, f, /*negated=*/false);
+      case FormulaKind::kOr:
+        return ApplyDisjunctiveFilter(block, f);
+      default:
+        return Status::Unsupported("cannot apply filter: " + f->ToString());
+    }
+  }
+
+  /// Builds a predicate over block columns from a comparison formula.
+  Result<PredicatePtr> ComparePredicate(const Block& block,
+                                        const FormulaPtr& f) {
+    const Term& l = f->lhs();
+    const Term& r = f->rhs();
+    auto col_of = [&](const Term& t) -> int {
+      return t.is_variable() ? block.ColOf(t.var()) : -1;
+    };
+    if (l.is_variable() && r.is_variable()) {
+      int lc = col_of(l);
+      int rc = col_of(r);
+      if (lc < 0 || rc < 0) {
+        return Status::Unsupported("unbound comparison: " + f->ToString());
+      }
+      return Predicate::ColCol(f->compare_op(), static_cast<size_t>(lc),
+                               static_cast<size_t>(rc));
+    }
+    if (l.is_variable()) {
+      int lc = col_of(l);
+      if (lc < 0) {
+        return Status::Unsupported("unbound comparison: " + f->ToString());
+      }
+      return Predicate::ColVal(f->compare_op(), static_cast<size_t>(lc),
+                               r.constant());
+    }
+    if (r.is_variable()) {
+      int rc = col_of(r);
+      if (rc < 0) {
+        return Status::Unsupported("unbound comparison: " + f->ToString());
+      }
+      // c op x  ≡  x op' c with the operator mirrored.
+      CompareOp mirrored;
+      switch (f->compare_op()) {
+        case CompareOp::kLt:
+          mirrored = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          mirrored = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          mirrored = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          mirrored = CompareOp::kLe;
+          break;
+        default:
+          mirrored = f->compare_op();
+      }
+      return Predicate::ColVal(mirrored, static_cast<size_t>(rc),
+                               l.constant());
+    }
+    // Ground comparison: fold to true/false.
+    bool truth = CompareValues(f->compare_op(), l.constant(), r.constant());
+    return truth ? Predicate::True()
+                 : Predicate::Not(Predicate::True());
+  }
+
+  /// Applies an (optionally negated) existential subquery as a filter:
+  /// Proposition 4. Uncorrelated subqueries become semi-joins (positive)
+  /// or complement-joins (negated, cases 3/4); correlated ones push the
+  /// block down as context (case 2b), with negated correlated subqueries
+  /// (case 5 — universal conditions) using either the double
+  /// complement-join or the division strategy.
+  Status ApplyQuantifiedFilter(Block* block, const FormulaPtr& f,
+                               bool negated) {
+    std::vector<FormulaPtr> body = Conjuncts(f->child());
+    std::set<std::string> zs(f->vars().begin(), f->vars().end());
+    std::set<std::string> shared = f->FreeVariableSet();
+    // Try the uncorrelated translation first: the subquery standalone
+    // produces both its quantified and its free variables.
+    std::set<std::string> standalone_required = zs;
+    standalone_required.insert(shared.begin(), shared.end());
+    if (SplitProducersAndFilters(body, standalone_required, {})) {
+      BRYQL_ASSIGN_OR_RETURN(
+          Block sub, TranslateBlock(body, standalone_required, std::nullopt));
+      BRYQL_ASSIGN_OR_RETURN(Block projected, ProjectToVars(sub, shared));
+      std::vector<JoinKey> keys = SharedKeys(block->frame, projected.frame);
+      block->expr =
+          negated ? Expr::AntiJoin(block->expr, projected.expr, keys)
+                  : Expr::SemiJoin(block->expr, projected.expr, keys);
+      return Status::Ok();
+    }
+    if (negated &&
+        options_.universal != TranslateOptions::Universal::kComplementJoin) {
+      Status division = TryDivision(block, f);
+      if (division.ok()) return Status::Ok();
+      if (division.code() != StatusCode::kUnsupported) return division;
+      // else fall through to the complement-join rewrite.
+    }
+    // Correlated: extend the block through the subquery's producers and
+    // filters, then project back to the block's columns — the witnesses.
+    size_t keep = block->frame.size();
+    Block context = *block;
+    BRYQL_ASSIGN_OR_RETURN(Block extended,
+                           TranslateBlock(body, zs, std::move(context)));
+    std::vector<size_t> cols(keep);
+    for (size_t i = 0; i < keep; ++i) cols[i] = i;
+    ExprPtr witnesses = Expr::Project(extended.expr, std::move(cols));
+    if (!negated) {
+      // E ⋉ witnesses, with identical frames — the projection itself.
+      block->expr = std::move(witnesses);
+      return Status::Ok();
+    }
+    // E ⊼ witnesses over all columns: the second complement-join.
+    std::vector<JoinKey> keys;
+    keys.reserve(keep);
+    for (size_t i = 0; i < keep; ++i) keys.push_back({i, i});
+    block->expr = Expr::AntiJoin(block->expr, std::move(witnesses), keys);
+    return Status::Ok();
+  }
+
+  /// The division-based case-5 translation: ¬∃z̄ (T ∧ ¬G) as a quotient.
+  /// With T independent of the outer variables, this is the paper's
+  /// literal division G ÷ π(T); when T mentions outer variables (the
+  /// "group" variables), the exact per-group form uses GroupDivision.
+  /// Either way a vacuous-truth guard re-admits block tuples whose
+  /// divisor (group) is empty. Returns kUnsupported when the shape does
+  /// not match; the caller then falls back to complement-joins.
+  Status TryDivision(Block* block, const FormulaPtr& f) {
+    std::vector<FormulaPtr> body = Conjuncts(f->child());
+    std::set<std::string> zs(f->vars().begin(), f->vars().end());
+    // Partition the body: range parts (producers over z̄ and possibly
+    // outer variables) and exactly one negated atom G.
+    std::vector<FormulaPtr> range_parts;
+    FormulaPtr negated_atom;
+    std::set<std::string> group_set;
+    for (const FormulaPtr& c : body) {
+      if (c->kind() == FormulaKind::kNot) {
+        if (c->child()->kind() != FormulaKind::kAtom ||
+            negated_atom != nullptr) {
+          return Status::Unsupported("division shape mismatch");
+        }
+        negated_atom = c->child();
+        continue;
+      }
+      for (const std::string& v : c->FreeVariableSet()) {
+        if (zs.count(v)) continue;
+        if (block->ColOf(v) < 0) {
+          return Status::Unsupported("range mentions an unbound variable");
+        }
+        group_set.insert(v);
+      }
+      range_parts.push_back(c);
+    }
+    if (negated_atom == nullptr || range_parts.empty()) {
+      return Status::Unsupported("division shape mismatch");
+    }
+    // The divided atom must mention every quantified and group variable.
+    std::set<std::string> g_vars = negated_atom->FreeVariableSet();
+    for (const std::string& z : zs) {
+      if (!g_vars.count(z)) return Status::Unsupported("z missing from G");
+    }
+    for (const std::string& v : group_set) {
+      if (!g_vars.count(v)) {
+        return Status::Unsupported("group variable missing from G");
+      }
+    }
+    // Shared variables: G's non-z variables, all bound in the block.
+    // keep = shared ∖ group.
+    std::vector<std::string> keep, group(group_set.begin(), group_set.end());
+    for (const std::string& v : g_vars) {
+      if (zs.count(v) || group_set.count(v)) continue;
+      if (block->ColOf(v) < 0) {
+        return Status::Unsupported("G mentions an unbound variable");
+      }
+      keep.push_back(v);
+    }
+    if (keep.empty() && group.empty()) {
+      return Status::Unsupported("closed division");
+    }
+    // Divisor: the range parts over [group..., z...].
+    std::set<std::string> divisor_required = zs;
+    divisor_required.insert(group.begin(), group.end());
+    auto divisor_split =
+        SplitProducersAndFilters(range_parts, divisor_required, {});
+    if (!divisor_split) {
+      return Status::Unsupported("range is not standalone-translatable");
+    }
+    BRYQL_ASSIGN_OR_RETURN(
+        Block divisor_block,
+        TranslateBlock(range_parts, divisor_required, std::nullopt));
+    std::vector<std::string> z_order;
+    for (const std::string& v : divisor_block.frame) {
+      if (zs.count(v)) z_order.push_back(v);
+    }
+    std::vector<std::string> divisor_frame = group;
+    divisor_frame.insert(divisor_frame.end(), z_order.begin(),
+                         z_order.end());
+    BRYQL_ASSIGN_OR_RETURN(ExprPtr divisor,
+                           ProjectToFrame(divisor_block, divisor_frame));
+    // Dividend: G over [keep..., group..., z...].
+    BRYQL_ASSIGN_OR_RETURN(Block g, AtomSource(negated_atom));
+    std::vector<std::string> dividend_frame = keep;
+    dividend_frame.insert(dividend_frame.end(), group.begin(), group.end());
+    dividend_frame.insert(dividend_frame.end(), z_order.begin(),
+                          z_order.end());
+    BRYQL_ASSIGN_OR_RETURN(ExprPtr dividend,
+                           ProjectToFrame(g, dividend_frame));
+    ExprPtr quotient;
+    if (options_.universal ==
+        TranslateOptions::Universal::kCountComparison) {
+      // The Quel baseline: per-group totals of the range vs. per-(keep,
+      // group) counts of matched pairs; keep where equal.
+      ExprPtr totals = Expr::GroupCount(divisor, group.size());
+      std::vector<JoinKey> pair_keys;
+      size_t off = keep.size();
+      for (size_t j = 0; j < group.size() + z_order.size(); ++j) {
+        pair_keys.push_back({off + j, j});
+      }
+      ExprPtr matched_pairs = Expr::SemiJoin(std::move(dividend), divisor,
+                                             pair_keys);
+      ExprPtr matched = Expr::GroupCount(std::move(matched_pairs),
+                                         keep.size() + group.size());
+      // matched = [keep, group, m]; totals = [group, n].
+      std::vector<JoinKey> group_keys;
+      for (size_t j = 0; j < group.size(); ++j) {
+        group_keys.push_back({keep.size() + j, j});
+      }
+      size_t m_col = keep.size() + group.size();
+      size_t n_col = m_col + 1 + group.size();
+      ExprPtr joined = Expr::Join(std::move(matched), std::move(totals),
+                                  group_keys);
+      ExprPtr equal = Expr::Select(
+          std::move(joined), Predicate::ColCol(CompareOp::kEq, m_col,
+                                               n_col));
+      std::vector<size_t> out_cols;
+      for (size_t j = 0; j < keep.size() + group.size(); ++j) {
+        out_cols.push_back(j);
+      }
+      quotient = Expr::Project(std::move(equal), std::move(out_cols));
+    } else {
+      quotient = group.empty()
+                     ? Expr::Division(std::move(dividend), divisor)
+                     : Expr::GroupDivision(std::move(dividend), divisor,
+                                           group.size());
+    }
+    // Quotient columns follow [keep..., group...].
+    std::vector<std::string> quotient_frame = keep;
+    quotient_frame.insert(quotient_frame.end(), group.begin(), group.end());
+    std::vector<JoinKey> keys;
+    for (size_t j = 0; j < quotient_frame.size(); ++j) {
+      keys.push_back(
+          {static_cast<size_t>(block->ColOf(quotient_frame[j])), j});
+    }
+    ExprPtr divided = Expr::SemiJoin(block->expr, std::move(quotient), keys);
+    // Vacuous-truth guard: block tuples whose divisor group is empty
+    // satisfy the ∀ trivially but never reach the quotient. Without
+    // groups, a zero-key complement-join keeps everything exactly when
+    // the divisor is empty; with groups, tuples whose group key has no
+    // divisor row.
+    std::vector<JoinKey> guard_keys;
+    for (size_t j = 0; j < group.size(); ++j) {
+      guard_keys.push_back(
+          {static_cast<size_t>(block->ColOf(group[j])), j});
+    }
+    ExprPtr vacuous =
+        Expr::AntiJoin(block->expr, std::move(divisor), guard_keys);
+    block->expr = Expr::Union(std::move(divided), std::move(vacuous));
+    return Status::Ok();
+  }
+
+  /// Proposition 5: a disjunctive filter as a chain of constrained
+  /// outer-joins over the block, one mark column per relational disjunct,
+  /// followed by one selection and a projection back to the block's
+  /// columns. Comparison disjuncts fold into the predicates directly.
+  Status ApplyDisjunctiveFilter(Block* block, const FormulaPtr& f) {
+    if (options_.disjunction ==
+        TranslateOptions::Disjunction::kUnionOfFilters) {
+      return DisjunctiveFilterAsUnion(block, f);
+    }
+    size_t base_arity = block->frame.size();
+    // Pre-translate each disjunct; if any cannot become a standalone
+    // relation or inline predicate, fall back to the union strategy.
+    struct Step {
+      bool negated = false;
+      // Either an inline predicate on block columns...
+      PredicatePtr inline_pred;
+      // ...or a relation to probe.
+      ExprPtr relation;
+      std::vector<std::string> rel_frame;
+      size_t mark_col = 0;  // filled while chaining
+    };
+    std::vector<Step> steps;
+    for (const FormulaPtr& d : f->children()) {
+      Step step;
+      FormulaPtr core = d;
+      if (core->kind() == FormulaKind::kNot) {
+        step.negated = true;
+        core = core->child();
+      }
+      if (core->kind() == FormulaKind::kCompare) {
+        auto pred = ComparePredicate(*block, core);
+        if (!pred.ok()) return DisjunctiveFilterAsUnion(block, f);
+        step.inline_pred = *pred;
+        steps.push_back(std::move(step));
+        continue;
+      }
+      Result<Block> sub = [&]() -> Result<Block> {
+        if (core->kind() == FormulaKind::kAtom) return AtomSource(core);
+        if (core->kind() == FormulaKind::kExists ||
+            core->kind() == FormulaKind::kAnd) {
+          std::set<std::string> required = core->FreeVariableSet();
+          std::vector<std::string> q_vars;
+          if (core->kind() == FormulaKind::kExists) {
+            q_vars = core->vars();
+          }
+          std::set<std::string> all = required;
+          all.insert(q_vars.begin(), q_vars.end());
+          std::vector<FormulaPtr> body =
+              core->kind() == FormulaKind::kExists
+                  ? Conjuncts(core->child())
+                  : core->children();
+          BRYQL_ASSIGN_OR_RETURN(Block b,
+                                 TranslateBlock(body, all, std::nullopt));
+          return ProjectToVars(b, required);
+        }
+        return Status::Unsupported("disjunct not relational");
+      }();
+      if (!sub.ok()) return DisjunctiveFilterAsUnion(block, f);
+      // Every free variable of the disjunct must be a block column.
+      for (const std::string& v : sub->frame) {
+        if (block->ColOf(v) < 0) return DisjunctiveFilterAsUnion(block, f);
+      }
+      step.relation = sub->expr;
+      step.rel_frame = sub->frame;
+      steps.push_back(std::move(step));
+    }
+    if (options_.reorder_disjuncts) {
+      // Largest relation first: it accepts the most tuples, so the
+      // constraints spare the most downstream probes. Inline predicates
+      // are free either way; estimate them as accepting half.
+      CostModel model(db_);
+      auto estimated_rows = [&](const Step& s) {
+        // Inline predicates cost no probe at all: always first.
+        if (s.relation == nullptr) {
+          return std::numeric_limits<double>::infinity();
+        }
+        auto est = model.Estimate(s.relation);
+        return est.ok() ? est->rows : 0.0;
+      };
+      std::stable_sort(steps.begin(), steps.end(),
+                       [&](const Step& a, const Step& b) {
+                         return estimated_rows(a) > estimated_rows(b);
+                       });
+    }
+    // Chain the constrained outer-joins. Block columns stay at their
+    // indices; mark columns append.
+    ExprPtr chain = block->expr;
+    size_t arity = base_arity;
+    std::vector<PredicatePtr> accepted;  // per placed step
+    std::vector<PredicatePtr> final_condition;
+    for (Step& step : steps) {
+      if (step.inline_pred != nullptr) {
+        PredicatePtr cond = step.negated
+                                ? Predicate::Not(step.inline_pred)
+                                : step.inline_pred;
+        accepted.push_back(cond);
+        final_condition.push_back(cond);
+        continue;
+      }
+      // Probe only tuples not accepted by any earlier disjunct
+      // (const(i) of Proposition 5).
+      PredicatePtr constraint = nullptr;
+      if (!accepted.empty()) {
+        std::vector<PredicatePtr> nots;
+        nots.reserve(accepted.size());
+        for (const PredicatePtr& a : accepted) {
+          nots.push_back(Predicate::Not(a));
+        }
+        constraint = Predicate::And(std::move(nots));
+      }
+      std::vector<JoinKey> keys;
+      for (size_t j = 0; j < step.rel_frame.size(); ++j) {
+        keys.push_back(
+            {static_cast<size_t>(block->ColOf(step.rel_frame[j])), j});
+      }
+      chain = Expr::MarkJoin(std::move(chain), step.relation, keys,
+                             constraint);
+      step.mark_col = arity++;
+      PredicatePtr cond = step.negated
+                              ? Predicate::IsNull(step.mark_col)
+                              : Predicate::IsNotNull(step.mark_col);
+      accepted.push_back(cond);
+      final_condition.push_back(cond);
+    }
+    chain = Expr::Select(std::move(chain),
+                         Predicate::Or(std::move(final_condition)));
+    std::vector<size_t> cols(base_arity);
+    for (size_t i = 0; i < base_arity; ++i) cols[i] = i;
+    block->expr = Expr::Project(std::move(chain), std::move(cols));
+    return Status::Ok();
+  }
+
+  /// Baseline translation of a disjunctive filter: union of the
+  /// independently filtered blocks (the strategy §3.3 improves on).
+  Status DisjunctiveFilterAsUnion(Block* block, const FormulaPtr& f) {
+    ExprPtr acc;
+    for (const FormulaPtr& d : f->children()) {
+      Block branch = *block;
+      BRYQL_RETURN_NOT_OK(ApplyFilter(&branch, d));
+      acc = acc == nullptr ? branch.expr : Expr::Union(acc, branch.expr);
+    }
+    block->expr = std::move(acc);
+    return Status::Ok();
+  }
+
+  const Database* db_;
+  const TranslateOptions& options_;
+};
+
+}  // namespace
+
+Result<ExprPtr> Translator::TranslateClosed(const FormulaPtr& canonical) const {
+  if (!canonical->FreeVariables().empty()) {
+    return Status::InvalidArgument(
+        "TranslateClosed requires a closed formula, got: " +
+        canonical->ToString());
+  }
+  TranslatorImpl impl(db_, options_);
+  return impl.Closed(canonical);
+}
+
+Result<TranslatedQuery> Translator::TranslateOpen(const Query& query) const {
+  if (query.closed()) {
+    return Status::InvalidArgument("TranslateOpen requires targets");
+  }
+  TranslatorImpl impl(db_, options_);
+  // Top-level disjunctions (Definition 3 case 2 / Rule 14) become unions
+  // of branch plans.
+  std::vector<FormulaPtr> branches;
+  if (query.formula->kind() == FormulaKind::kOr) {
+    branches = query.formula->children();
+  } else {
+    branches = {query.formula};
+  }
+  ExprPtr plan;
+  for (const FormulaPtr& branch : branches) {
+    BRYQL_ASSIGN_OR_RETURN(ExprPtr e,
+                           impl.OpenBranch(branch, query.targets));
+    plan = plan == nullptr ? std::move(e) : Expr::Union(plan, std::move(e));
+  }
+  return TranslatedQuery{std::move(plan), query.targets};
+}
+
+}  // namespace bryql

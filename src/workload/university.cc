@@ -1,0 +1,200 @@
+#include "workload/university.h"
+
+#include <random>
+
+namespace bryql {
+
+namespace {
+
+const char* kSubjects[] = {"db", "ai", "os", "pl", "ir", "hw"};
+const char* kDepartments[] = {"cs",      "math",    "physics", "biology",
+                              "history", "letters", "law",     "medicine"};
+const char* kLanguages[] = {"french", "german", "english",
+                            "latin",  "italian", "spanish"};
+const char* kSkills[] = {"db", "ai", "math", "stats", "writing",
+                         "proofs", "hardware", "networks", "graphics",
+                         "logic"};
+
+std::string StudentName(size_t i) { return "s" + std::to_string(i); }
+std::string ProfName(size_t i) { return "p" + std::to_string(i); }
+std::string LectureName(size_t i) { return "l" + std::to_string(i); }
+
+}  // namespace
+
+Database MakeUniversity(const UniversityConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  auto pick = [&](size_t n) { return rng() % n; };
+  auto coin = [&](double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+  };
+
+  Database db;
+  Relation student(1), professor(1), lecture(2), cs_lecture(1), attends(2),
+      enrolled(2), member(2), makes(2), speaks(2), skill(2), department(1),
+      language(1);
+
+  size_t n_depts = std::min<size_t>(config.departments, 8);
+  size_t n_langs = std::min<size_t>(config.languages, 6);
+
+  for (size_t d = 0; d < n_depts; ++d) {
+    department.Insert(Tuple({Value::String(kDepartments[d])}));
+  }
+  for (size_t l = 0; l < n_langs; ++l) {
+    language.Insert(Tuple({Value::String(kLanguages[l])}));
+  }
+
+  std::vector<size_t> db_lectures;  // indices of "db" lectures
+  for (size_t i = 0; i < config.lectures; ++i) {
+    const char* subject = kSubjects[i % 6];
+    lecture.Insert(
+        Tuple({Value::String(LectureName(i)), Value::String(subject)}));
+    if (std::string(subject) == "db") db_lectures.push_back(i);
+    // cs-lecture in the paper's Q1 (§2.2) stands for the lectures of one
+    // department; we map it to the "db" subject lectures.
+    if (std::string(subject) == "db") {
+      cs_lecture.Insert(Tuple({Value::String(LectureName(i))}));
+    }
+  }
+
+  for (size_t i = 0; i < config.students; ++i) {
+    std::string name = StudentName(i);
+    student.Insert(Tuple({Value::String(name)}));
+    enrolled.Insert(Tuple({Value::String(name),
+                           Value::String(kDepartments[pick(n_depts)])}));
+    member.Insert(Tuple({Value::String(name),
+                         Value::String(kDepartments[pick(n_depts)])}));
+    if (coin(config.phd_fraction)) {
+      makes.Insert(Tuple({Value::String(name), Value::String("phd")}));
+    }
+    // Lecture attendance.
+    if (coin(config.completionist_fraction)) {
+      for (size_t l : db_lectures) {
+        attends.Insert(Tuple({Value::String(name),
+                              Value::String(LectureName(l))}));
+      }
+    }
+    double expected = config.attends_per_student;
+    size_t count = static_cast<size_t>(expected);
+    if (coin(expected - static_cast<double>(count))) ++count;
+    for (size_t k = 0; k < count && config.lectures > 0; ++k) {
+      attends.Insert(Tuple({Value::String(name),
+                            Value::String(
+                                LectureName(pick(config.lectures)))}));
+    }
+    // Languages and skills.
+    for (size_t l = 0; l < n_langs; ++l) {
+      if (coin(config.languages_per_person / static_cast<double>(n_langs))) {
+        speaks.Insert(
+            Tuple({Value::String(name), Value::String(kLanguages[l])}));
+      }
+    }
+    for (size_t s = 0; s < 10; ++s) {
+      if (coin(config.skills_per_person / 10.0)) {
+        skill.Insert(Tuple({Value::String(name), Value::String(kSkills[s])}));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < config.professors; ++i) {
+    std::string name = ProfName(i);
+    professor.Insert(Tuple({Value::String(name)}));
+    member.Insert(Tuple({Value::String(name),
+                         Value::String(kDepartments[pick(n_depts)])}));
+    for (size_t l = 0; l < n_langs; ++l) {
+      if (coin(config.languages_per_person / static_cast<double>(n_langs))) {
+        speaks.Insert(
+            Tuple({Value::String(name), Value::String(kLanguages[l])}));
+      }
+    }
+    for (size_t s = 0; s < 10; ++s) {
+      if (coin(config.skills_per_person / 10.0)) {
+        skill.Insert(Tuple({Value::String(name), Value::String(kSkills[s])}));
+      }
+    }
+  }
+
+  db.Put("student", std::move(student));
+  db.Put("professor", std::move(professor));
+  db.Put("lecture", std::move(lecture));
+  db.Put("cs-lecture", std::move(cs_lecture));
+  db.Put("attends", std::move(attends));
+  db.Put("enrolled", std::move(enrolled));
+  db.Put("member", std::move(member));
+  db.Put("makes", std::move(makes));
+  db.Put("speaks", std::move(speaks));
+  db.Put("skill", std::move(skill));
+  db.Put("department", std::move(department));
+  db.Put("language", std::move(language));
+  return db;
+}
+
+std::vector<NamedQuery> PaperQuerySuite() {
+  return {
+      // §1 running example.
+      {"sec1-running",
+       "(exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)))"
+       " & (forall z1: student(z1) -> (exists z2: attends(z1, z2)))",
+       "§1 governing example"},
+      // §2.2 Q1 — miniscope motivation.
+      {"sec22-q1",
+       "exists x: student(x) & "
+       "(forall y: cs-lecture(y) -> attends(x, y) & ~enrolled(x, cs))",
+       "§2.2 Q1"},
+      // §2.3 Q1 — producers and filters.
+      {"sec23-q1",
+       "exists x: ((student(x) & makes(x, phd)) | professor(x)) & "
+       "(speaks(x, french) | speaks(x, german))",
+       "§2.3 Q1"},
+      // §2.3 Q4 — disjunction kept inside the range.
+      {"sec23-q4",
+       "exists x: professor(x) & (member(x, cs) | skill(x, math)) & "
+       "speaks(x, french)",
+       "§2.3 Q4"},
+      // §3.1 Q1/Q2 — complement-join, open forms.
+      {"sec31-q1", "{ x | (exists z: member(x, z)) & ~skill(x, db) }",
+       "§3.1 Q1"},
+      {"sec31-q2", "{ x, z | member(x, z) & ~skill(x, db) }", "§3.1 Q2"},
+      // §3.2 pipelined example.
+      {"sec32-pipeline",
+       "exists x y: enrolled(x, y) & y != cs & makes(x, phd) & "
+       "(exists z: lecture(z, ai) & attends(x, z))",
+       "§3.2 Q"},
+      // §3.2 boolean combination of closed subqueries.
+      {"sec32-boolean",
+       "(exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)))"
+       " & ~(exists z1: student(z1) & ~(exists z2: attends(z1, z2)))",
+       "§3.2 example"},
+      // Open variants exercising every Proposition 4 pattern on the
+      // university schema.
+      {"open-attenders-all-db",
+       "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }",
+       "Prop. 4 case 5 pattern"},
+      {"open-misses-some-db",
+       "{ x | student(x) & (exists y: lecture(y, db) & ~attends(x, y)) }",
+       "Prop. 4 case 2b pattern"},
+      {"open-phd-or-prof-speakers",
+       "{ x | ((student(x) & makes(x, phd)) | professor(x)) & "
+       "(speaks(x, french) | speaks(x, german)) }",
+       "§2.3 Q1 open"},
+      {"open-negated-disjunct",
+       "{ x | student(x) & (~enrolled(x, cs) | skill(x, db)) }",
+       "§3.3 Q2 pattern"},
+      {"open-three-way-filter",
+       "{ x | student(x) & (speaks(x, french) | speaks(x, german) | "
+       "skill(x, logic)) }",
+       "Prop. 5, n = 3"},
+      {"open-universal-language",
+       "{ x | professor(x) & (forall y: language(y) -> speaks(x, y)) }",
+       "§2.3 roman-language pattern"},
+      {"open-mixed-quantifiers",
+       "{ d | department(d) & (exists x: enrolled(x, d) & "
+       "(forall y: cs-lecture(y) -> attends(x, y))) }",
+       "nested ∃∀"},
+      {"closed-every-phd-attends",
+       "forall x: (student(x) & makes(x, phd)) -> "
+       "(exists y: attends(x, y))",
+       "∀ with conjunctive range"},
+  };
+}
+
+}  // namespace bryql

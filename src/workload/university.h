@@ -1,0 +1,66 @@
+#ifndef BRYQL_WORKLOAD_UNIVERSITY_H_
+#define BRYQL_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace bryql {
+
+/// Scale and selectivity knobs for the synthetic university database —
+/// the domain every example in the paper is phrased in.
+struct UniversityConfig {
+  /// Entity counts.
+  size_t students = 200;
+  size_t professors = 40;
+  size_t lectures = 60;
+  size_t departments = 8;
+  size_t languages = 6;
+  size_t skills = 10;
+
+  /// Behavioural knobs.
+  /// Average lectures attended per student.
+  double attends_per_student = 6.0;
+  /// Probability that a student attends *every* lecture of the "db"
+  /// subject (the universal-quantification witnesses).
+  double completionist_fraction = 0.05;
+  /// Average languages spoken per person.
+  double languages_per_person = 1.5;
+  /// Average skills per person.
+  double skills_per_person = 1.2;
+  /// Fraction of students making a PhD.
+  double phd_fraction = 0.3;
+
+  uint64_t seed = 42;
+};
+
+/// Generates the university database with relations:
+///   student(name), professor(name), lecture(id, subject),
+///   attends(student, lecture), enrolled(student, dept),
+///   member(person, dept), makes(student, degree),
+///   speaks(person, language), skill(person, topic),
+///   cs-lecture(id)  — lectures of the "cs" subject, as its own relation
+///   department(name), language(name)
+///
+/// Subjects cycle through {"db", "ai", "os", ...}; departments through
+/// {"cs", "math", ...}; languages include "french" and "german" so the
+/// paper's queries run verbatim.
+Database MakeUniversity(const UniversityConfig& config);
+
+/// A named query of the benchmark suite.
+struct NamedQuery {
+  std::string name;
+  std::string text;
+  /// Where in the paper the query (or its pattern) comes from.
+  std::string source;
+};
+
+/// The paper-derived query suite: every example query of §1-§3 plus
+/// generalizations, all runnable against MakeUniversity databases.
+std::vector<NamedQuery> PaperQuerySuite();
+
+}  // namespace bryql
+
+#endif  // BRYQL_WORKLOAD_UNIVERSITY_H_

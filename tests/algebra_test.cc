@@ -1,0 +1,113 @@
+#include "algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/builder.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  db.Put("p", UnaryStrings({"a", "b"}));
+  db.Put("r", StringPairs({{"a", "x"}, {"b", "y"}}));
+  return db;
+}
+
+TEST(PredicateTest, CompareEval) {
+  PredicatePtr p = Predicate::ColVal(CompareOp::kEq, 1, Value::String("x"));
+  size_t comparisons = 0;
+  EXPECT_TRUE(p->Eval(Strs({"a", "x"}), &comparisons));
+  EXPECT_FALSE(p->Eval(Strs({"a", "y"}), &comparisons));
+  EXPECT_EQ(comparisons, 2u);
+}
+
+TEST(PredicateTest, ColColAndBooleans) {
+  PredicatePtr eq = Predicate::ColCol(CompareOp::kEq, 0, 1);
+  PredicatePtr both = Predicate::And(
+      {eq, Predicate::ColVal(CompareOp::kNe, 0, Value::String("z"))});
+  EXPECT_TRUE(both->Eval(Strs({"a", "a"}), nullptr));
+  EXPECT_FALSE(both->Eval(Strs({"z", "z"}), nullptr));
+  PredicatePtr either = Predicate::Or(
+      {eq, Predicate::ColVal(CompareOp::kEq, 0, Value::String("z"))});
+  EXPECT_TRUE(either->Eval(Strs({"z", "q"}), nullptr));
+  EXPECT_FALSE(Predicate::Not(either)->Eval(Strs({"z", "q"}), nullptr));
+}
+
+TEST(PredicateTest, NullTests) {
+  Tuple with_null({Value::String("a"), Value::Null()});
+  EXPECT_TRUE(Predicate::IsNull(1)->Eval(with_null, nullptr));
+  EXPECT_FALSE(Predicate::IsNull(0)->Eval(with_null, nullptr));
+  EXPECT_TRUE(Predicate::IsNotNull(0)->Eval(with_null, nullptr));
+  // ⊥ is not ∅: a marked column is "not null".
+  Tuple with_mark({Value::Mark()});
+  EXPECT_FALSE(Predicate::IsNull(0)->Eval(with_mark, nullptr));
+}
+
+TEST(PredicateTest, MaxColumn) {
+  EXPECT_EQ(Predicate::True()->MaxColumn(), -1);
+  EXPECT_EQ(Predicate::ColCol(CompareOp::kLt, 2, 5)->MaxColumn(), 5);
+  PredicatePtr combo = Predicate::And(
+      {Predicate::IsNull(3), Predicate::ColVal(CompareOp::kEq, 7,
+                                               Value::Int(1))});
+  EXPECT_EQ(combo->MaxColumn(), 7);
+}
+
+TEST(ExprArityTest, ScanAndLiteral) {
+  Database db = MakeDb();
+  EXPECT_EQ(*Expr::Scan("r")->Arity(db), 2u);
+  EXPECT_EQ(*Expr::Literal(UnaryInts({1}))->Arity(db), 1u);
+  EXPECT_FALSE(Expr::Scan("missing")->Arity(db).ok());
+}
+
+TEST(ExprArityTest, JoinsAndSets) {
+  Database db = MakeDb();
+  ExprPtr p = Expr::Scan("p");
+  ExprPtr r = Expr::Scan("r");
+  EXPECT_EQ(*Expr::Join(p, r, {{0, 0}})->Arity(db), 3u);
+  EXPECT_EQ(*Expr::SemiJoin(p, r, {{0, 0}})->Arity(db), 1u);
+  EXPECT_EQ(*Expr::AntiJoin(p, r, {{0, 0}})->Arity(db), 1u);
+  EXPECT_EQ(*Expr::OuterJoin(p, r, {{0, 0}})->Arity(db), 3u);
+  EXPECT_EQ(*Expr::MarkJoin(p, r, {{0, 0}})->Arity(db), 2u);
+  EXPECT_EQ(*Expr::Division(r, p)->Arity(db), 1u);
+  EXPECT_EQ(*Expr::Union(p, p)->Arity(db), 1u);
+  EXPECT_FALSE(Expr::Union(p, r)->Arity(db).ok());  // arity mismatch
+  EXPECT_FALSE(Expr::Join(p, r, {{3, 0}})->Arity(db).ok());  // bad key
+}
+
+TEST(ExprArityTest, BooleanShapes) {
+  Database db = MakeDb();
+  ExprPtr b = Expr::NonEmpty(Expr::Scan("p"));
+  EXPECT_EQ(*b->Arity(db), 0u);
+  EXPECT_EQ(*Expr::BoolAnd({b, Expr::BoolNot(b)})->Arity(db), 0u);
+  // Boolean connectives demand arity-0 children.
+  EXPECT_FALSE(Expr::BoolNot(Expr::Scan("p"))->Arity(db).ok());
+}
+
+TEST(ExprArityTest, ProjectValidation) {
+  Database db = MakeDb();
+  EXPECT_EQ(*Expr::Project(Expr::Scan("r"), {1, 0, 1})->Arity(db), 3u);
+  EXPECT_FALSE(Expr::Project(Expr::Scan("r"), {2})->Arity(db).ok());
+}
+
+TEST(ExprToStringTest, ExplainTree) {
+  ExprPtr e = Expr::Project(
+      Expr::AntiJoin(Expr::Scan("member"),
+                     Expr::Select(Expr::Scan("skill"),
+                                  Predicate::ColVal(CompareOp::kEq, 1,
+                                                    Value::String("db"))),
+                     {{0, 0}}),
+      {0});
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("ComplementJoin"), std::string::npos);
+  EXPECT_NE(s.find("$0=$0"), std::string::npos);
+  EXPECT_NE(s.find("Scan member"), std::string::npos);
+}
+
+TEST(ExprToStringTest, SizeCountsOperators) {
+  ExprPtr e = Expr::Union(Expr::Scan("p"), Expr::Scan("p"));
+  EXPECT_EQ(e->Size(), 3u);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,141 @@
+#include "calculus/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/parser.h"
+
+namespace bryql {
+namespace {
+
+FormulaPtr F(const std::string& text,
+             const std::vector<std::string>& bound = {}) {
+  auto r = ParseFormula(text, bound);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(GovernsTest, PaperSection1Example) {
+  // ∃x {student(x) ∧ [∀y lecture(y,db) ⇒ attends(x,y)] ∧
+  //     [∀z1 student(z1) ⇒ ∃z2 attends(z1,z2)]}
+  // "x governs y but none of the zi's".
+  FormulaPtr f = F(
+      "exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)) & "
+      "(forall z1: student(z1) -> (exists z2: attends(z1, z2)))");
+  ASSERT_EQ(f->kind(), FormulaKind::kExists);
+  std::set<std::string> governed = GovernedVariables({"x"}, f->child());
+  EXPECT_TRUE(governed.count("y"));
+  EXPECT_FALSE(governed.count("z1"));
+  EXPECT_FALSE(governed.count("z2"));
+}
+
+TEST(GovernsTest, SameQuantifierDoesNotGovern) {
+  // ∃x (p(x) ∧ ∃y r(x,y)): same quantifier — condition 4 fails.
+  FormulaPtr f = F("exists x: p(x) & (exists y: r(x, y))");
+  std::set<std::string> governed = GovernedVariables({"x"}, f->child());
+  EXPECT_TRUE(governed.empty());
+}
+
+TEST(GovernsTest, NegatedExistentialActsAsUniversal) {
+  // After Rules 4/5, ∀y appears as ¬∃y; the effective quantifier flips.
+  FormulaPtr f = F("exists x: p(x) & ~(exists y: q(y) & ~r(x, y))");
+  std::set<std::string> governed = GovernedVariables({"x"}, f->child());
+  EXPECT_TRUE(governed.count("y"));
+}
+
+TEST(GovernsTest, NoSharedAtomNoGoverning) {
+  // Condition 3: no atom links x and y.
+  FormulaPtr f = F("exists x: p(x) & (forall y: q(y) -> s(y))");
+  std::set<std::string> governed = GovernedVariables({"x"}, f->child());
+  EXPECT_TRUE(governed.empty());
+}
+
+TEST(GovernsTest, TransitiveThroughIntermediate) {
+  // x directly governs y (∀ under ∃, shared atom r(x,y)); y governs z
+  // (∃ under ∀, shared atom s(y,z)); so x governs z transitively.
+  FormulaPtr f = F(
+      "exists x: p(x) & "
+      "(forall y: q(y) -> r(x, y) & (exists z: s(y, z)))");
+  std::set<std::string> governed = GovernedVariables({"x"}, f->child());
+  EXPECT_TRUE(governed.count("y"));
+  EXPECT_TRUE(governed.count("z"));
+}
+
+TEST(GovernsTest, LinkThroughGovernedVariable) {
+  // Condition 3's second form: the atom links x with a variable governed
+  // by y (here z), not with y itself.
+  FormulaPtr f = F(
+      "exists x: p(x) & "
+      "(forall y: q(y) -> (exists z: s(y, z) & t(x, z)))");
+  std::set<std::string> governed = GovernedVariables({"x"}, f->child());
+  EXPECT_TRUE(governed.count("y"));
+  EXPECT_TRUE(governed.count("z"));
+}
+
+TEST(MiniscopeTest, PaperQ1IsNotMiniscope) {
+  // §2.2 Q1: ¬enrolled(x,cs) sits inside ∀y but mentions only x.
+  FormulaPtr q1 = F(
+      "exists x: student(x) & "
+      "(forall y: cs-lecture(y) -> attends(x, y) & ~enrolled(x, cs))");
+  EXPECT_FALSE(IsMiniscope(q1));
+}
+
+TEST(MiniscopeTest, PaperQ2IsMiniscope) {
+  // §2.2 Q2: the equivalent miniscope form.
+  FormulaPtr q2 = F(
+      "exists x: student(x) & "
+      "(forall y: cs-lecture(y) -> attends(x, y)) & ~enrolled(x, cs)");
+  EXPECT_TRUE(IsMiniscope(q2));
+}
+
+TEST(MiniscopeTest, PaperF5IsMiniscope) {
+  // §2.2: F5 = ∃x p(x) ∧ [∀y ¬q(y) ∨ r(x,y)] "is in miniscope form".
+  FormulaPtr f5 = F("exists x: p(x) & (forall y: ~q(y) | r(x, y))");
+  EXPECT_TRUE(IsMiniscope(f5));
+}
+
+TEST(MiniscopeTest, GroundAtomInsideQuantifierViolates) {
+  FormulaPtr f = F("exists x: p(x) & q(c)");
+  EXPECT_FALSE(IsMiniscope(f));
+}
+
+TEST(MiniscopeTest, AtomBoundByNestedQuantifierIsFine) {
+  FormulaPtr f = F("exists x: p(x) & (exists y: r(x, y) & q(y))");
+  EXPECT_TRUE(IsMiniscope(f));
+}
+
+TEST(EscapableAtomTest, DisjunctionWithFreeAtom) {
+  // F1 of §2.2: ∃x p(x) ∧ (q(y) ∨ r(x)) — q(y) can escape.
+  FormulaPtr f = F("exists x: p(x) & (q(y) | r(x))", {"y"});
+  ASSERT_EQ(f->kind(), FormulaKind::kExists);
+  EXPECT_TRUE(HasEscapableAtom({"x"}, f->child()));
+}
+
+TEST(EscapableAtomTest, GovernedAtomsDoNotEscape) {
+  // All atoms mention x or the governed y.
+  FormulaPtr f =
+      F("exists x: p(x) & (r(x) | (forall y: q(y) -> s(x, y)))");
+  EXPECT_FALSE(HasEscapableAtom({"x"}, f->child()));
+}
+
+TEST(EscapableAtomTest, UngovernedQuantifiedAtomEscapes) {
+  // ∀z s(z)→t(z) is independent of x: its atoms are escapable.
+  FormulaPtr f =
+      F("exists x: p(x) & (r(x) | (forall z: s(z) -> t(z)))");
+  EXPECT_TRUE(HasEscapableAtom({"x"}, f->child()));
+}
+
+TEST(SortACTest, CanonicalizesChildOrder) {
+  FormulaPtr a = F("exists x: p(x) & q(x)");
+  FormulaPtr b = F("exists x: q(x) & p(x)");
+  EXPECT_FALSE(Formula::Equal(a, b));
+  EXPECT_TRUE(Formula::Equal(SortAC(a), SortAC(b)));
+}
+
+TEST(SortACTest, RecursesThroughConnectives) {
+  FormulaPtr a = F("~((exists x: p(x) & q(x)) | r(c))");
+  FormulaPtr b = F("~(r(c) | (exists x: q(x) & p(x)))");
+  EXPECT_TRUE(Formula::Equal(SortAC(a), SortAC(b)));
+}
+
+}  // namespace
+}  // namespace bryql

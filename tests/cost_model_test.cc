@@ -1,0 +1,146 @@
+#include "algebra/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_processor.h"
+#include "storage/builder.h"
+#include "workload/university.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  Relation big(2), small(1);
+  for (int i = 0; i < 1000; ++i) {
+    big.Insert(Ints({i, i % 10}));
+    if (i < 50) small.Insert(Ints({i}));
+  }
+  db.Put("big", std::move(big));
+  db.Put("small", std::move(small));
+  return db;
+}
+
+TEST(CostModelTest, LeafCardinalitiesExact) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  auto c = model.Estimate(Expr::Scan("big"));
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->rows, 1000.0);
+  auto lit = model.Estimate(Expr::Literal(UnaryInts({1, 2, 3})));
+  ASSERT_TRUE(lit.ok());
+  EXPECT_DOUBLE_EQ(lit->rows, 3.0);
+}
+
+TEST(CostModelTest, SelectionReducesRows) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  ExprPtr scan = Expr::Scan("big");
+  ExprPtr eq = Expr::Select(
+      scan, Predicate::ColVal(CompareOp::kEq, 1, Value::Int(3)));
+  ExprPtr lt = Expr::Select(
+      scan, Predicate::ColVal(CompareOp::kLt, 0, Value::Int(10)));
+  auto base = model.Estimate(scan);
+  auto ce = model.Estimate(eq);
+  auto cl = model.Estimate(lt);
+  ASSERT_TRUE(ce.ok());
+  EXPECT_LT(ce->rows, base->rows);
+  EXPECT_LT(ce->rows, cl->rows);  // equality more selective than range
+}
+
+TEST(CostModelTest, ProductDominatesJoin) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  ExprPtr join = Expr::Join(Expr::Scan("big"), Expr::Scan("small"),
+                            {{0, 0}});
+  ExprPtr product = Expr::Product(Expr::Scan("big"), Expr::Scan("small"));
+  auto cj = model.Estimate(join);
+  auto cp = model.Estimate(product);
+  ASSERT_TRUE(cj.ok());
+  ASSERT_TRUE(cp.ok());
+  EXPECT_LT(cj->rows, cp->rows);
+  EXPECT_LT(cj->cost, cp->cost);
+}
+
+TEST(CostModelTest, SemiAndAntiJoinPartition) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  ExprPtr semi = Expr::SemiJoin(Expr::Scan("big"), Expr::Scan("small"),
+                                {{0, 0}});
+  ExprPtr anti = Expr::AntiJoin(Expr::Scan("big"), Expr::Scan("small"),
+                                {{0, 0}});
+  auto cs = model.Estimate(semi);
+  auto ca = model.Estimate(anti);
+  // Proposition 3: semi + anti = whole left side.
+  EXPECT_DOUBLE_EQ(cs->rows + ca->rows, 1000.0);
+}
+
+TEST(CostModelTest, MarkJoinConstraintSavesProbes) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  ExprPtr unconstrained = Expr::MarkJoin(Expr::Scan("big"),
+                                         Expr::Scan("small"), {{0, 0}});
+  ExprPtr constrained = Expr::MarkJoin(Expr::Scan("big"),
+                                       Expr::Scan("small"), {{0, 0}},
+                                       Predicate::IsNull(1));
+  auto cu = model.Estimate(unconstrained);
+  auto cc = model.Estimate(constrained);
+  EXPECT_LT(cc->cost, cu->cost);
+  EXPECT_DOUBLE_EQ(cc->rows, cu->rows);  // mark joins preserve the left side
+}
+
+TEST(CostModelTest, MalformedPlanRejected) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  EXPECT_FALSE(model.Estimate(Expr::Scan("ghost")).ok());
+  EXPECT_FALSE(
+      model.Estimate(Expr::Union(Expr::Scan("big"), Expr::Scan("small")))
+          .ok());
+}
+
+TEST(CostModelTest, AnnotateProducesPerNodeEstimates) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  ExprPtr plan = Expr::Project(
+      Expr::SemiJoin(Expr::Scan("big"), Expr::Scan("small"), {{0, 0}}),
+      {0});
+  auto annotated = model.Annotate(plan);
+  ASSERT_TRUE(annotated.ok());
+  EXPECT_NE(annotated->find("rows~"), std::string::npos);
+  EXPECT_NE(annotated->find("Scan big"), std::string::npos);
+}
+
+TEST(CostModelTest, RanksBryBelowClassicalOnUniversalQuery) {
+  // The model must reproduce the paper's qualitative ranking on the
+  // universal-quantification query where the gap is largest.
+  UniversityConfig config;
+  config.students = 300;
+  config.lectures = 24;
+  Database db = MakeUniversity(config);
+  QueryProcessor qp(&db);
+  const char* text =
+      "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }";
+  auto bry = qp.Explain(text, Strategy::kBry);
+  auto classical = qp.Explain(text, Strategy::kClassical);
+  ASSERT_TRUE(bry.ok());
+  ASSERT_TRUE(classical.ok());
+  CostModel model(&db);
+  auto bry_cost = model.Estimate(bry->plan);
+  auto classical_cost = model.Estimate(classical->plan);
+  ASSERT_TRUE(bry_cost.ok());
+  ASSERT_TRUE(classical_cost.ok());
+  EXPECT_LT(bry_cost->cost, classical_cost->cost);
+}
+
+TEST(CostModelTest, BooleanShapes) {
+  Database db = MakeDb();
+  CostModel model(&db);
+  ExprPtr test = Expr::NonEmpty(Expr::Scan("big"));
+  auto c = model.Estimate(Expr::BoolAnd({test, Expr::BoolNot(test)}));
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->rows, 1.0);
+  EXPECT_GT(c->cost, 0.0);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "storage/builder.h"
+#include "storage/csv.h"
+#include "storage/database.h"
+
+namespace bryql {
+namespace {
+
+TEST(DatabaseTest, PutGetAndNames) {
+  Database db;
+  db.Put("p", UnaryStrings({"a", "b"}));
+  db.Put("q", StringPairs({{"a", "b"}}));
+  EXPECT_TRUE(db.Has("p"));
+  EXPECT_FALSE(db.Has("r"));
+  auto p = db.Get("p");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->size(), 2u);
+  EXPECT_EQ(db.Names(), (std::vector<std::string>{"p", "q"}));
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+TEST(DatabaseTest, GetMissingIsNotFound) {
+  Database db;
+  auto r = db.Get("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, ArityOf) {
+  Database db;
+  db.Put("q", StringPairs({{"a", "b"}}));
+  auto a = db.ArityOf("q");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, 2u);
+}
+
+TEST(DatabaseTest, PutReplaces) {
+  Database db;
+  db.Put("p", UnaryStrings({"a"}));
+  db.Put("p", UnaryStrings({"a", "b", "c"}));
+  EXPECT_EQ((*db.Get("p"))->size(), 3u);
+}
+
+TEST(DatabaseTest, ActiveDomainCollectsAllValues) {
+  // The "dom" view of §2.1 (Domain Closure Assumption).
+  Database db;
+  db.Put("p", StringPairs({{"a", "b"}, {"b", "c"}}));
+  db.Put("q", UnaryStrings({"d"}));
+  Relation dom = db.ActiveDomain();
+  EXPECT_EQ(dom.arity(), 1u);
+  EXPECT_EQ(dom.size(), 4u);  // a, b, c, d
+  EXPECT_TRUE(dom.Contains(Strs({"c"})));
+}
+
+TEST(CsvTest, ParsesTypesPerCell) {
+  auto r = RelationFromCsv("1, 2.5, hello, 'quoted, no'\n");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 1u);
+  const Tuple& t = r->rows()[0];
+  EXPECT_EQ(t.at(0), Value::Int(1));
+  EXPECT_EQ(t.at(1), Value::Double(2.5));
+  EXPECT_EQ(t.at(2), Value::String("hello"));
+}
+
+TEST(CsvTest, SkipsCommentsAndBlanks) {
+  auto r = RelationFromCsv("# header\n\n a, 1 \n b, 2 \n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(CsvTest, RejectsMixedArity) {
+  auto r = RelationFromCsv("a,b\nc\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  Relation in = StringPairs({{"a", "x"}, {"b", "y"}});
+  auto text = RelationToCsv(in);
+  ASSERT_TRUE(text.ok());
+  auto back = RelationFromCsv(*text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, in);
+}
+
+TEST(CsvTest, RefusesInternalSymbols) {
+  Relation r(1);
+  r.Insert(Tuple({Value::Mark()}));
+  EXPECT_FALSE(RelationToCsv(r).ok());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto r = RelationFromCsvFile("/nonexistent/file.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PersistenceTest, SaveAndLoadRoundTrip) {
+  Database db;
+  db.Put("p", UnaryStrings({"a", "b"}));
+  db.Put("q", StringPairs({{"a", "x"}, {"b", "y"}}));
+  db.Put("numbers", UnaryInts({1, 2, 3}));
+  std::string dir =
+      ::testing::TempDir() + "/bryql_persist_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->Names(), db.Names());
+  for (const std::string& name : db.Names()) {
+    EXPECT_EQ(*(*loaded->Get(name)), *(*db.Get(name))) << name;
+  }
+}
+
+TEST(PersistenceTest, EmptyRelationKeepsArity) {
+  Database db;
+  db.Put("empty3", Relation(3));
+  std::string dir = ::testing::TempDir() + "/bryql_persist_empty";
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(*loaded->ArityOf("empty3"), 3u);
+  EXPECT_TRUE((*loaded->Get("empty3"))->empty());
+}
+
+TEST(PersistenceTest, MissingManifestIsNotFound) {
+  auto r = LoadDatabase("/nonexistent/dir");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PersistenceTest, ManifestMismatchRejected) {
+  Database db;
+  db.Put("p", UnaryStrings({"a", "b"}));
+  std::string dir = ::testing::TempDir() + "/bryql_persist_bad";
+  ASSERT_TRUE(SaveDatabase(db, dir).ok());
+  // Corrupt the manifest's cardinality.
+  {
+    std::ofstream manifest(dir + "/MANIFEST");
+    manifest << "p,1,99\n";
+  }
+  auto r = LoadDatabase(dir);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,137 @@
+#include "rewrite/domain_closure.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_processor.h"
+#include "rewrite/rewriter.h"
+#include "storage/builder.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  db.Put("p", UnaryStrings({"a", "b"}));
+  db.Put("q", StringPairs({{"a", "b"}, {"c", "d"}}));
+  return db;
+}
+
+TEST(DomainViewTest, DomResolvesToActiveDomain) {
+  Database db = MakeDb();
+  auto dom = db.Get("dom");
+  ASSERT_TRUE(dom.ok());
+  EXPECT_EQ((*dom)->size(), 4u);  // a, b, c, d
+  EXPECT_EQ(*db.ArityOf("dom"), 1u);
+}
+
+TEST(DomainViewTest, DomCacheInvalidatesOnPut) {
+  Database db = MakeDb();
+  EXPECT_EQ((*db.Get("dom"))->size(), 4u);
+  db.Put("r", UnaryStrings({"z"}));
+  EXPECT_EQ((*db.Get("dom"))->size(), 5u);
+}
+
+TEST(DomainViewTest, UserRelationShadowsDom) {
+  Database db = MakeDb();
+  db.Put("dom", UnaryStrings({"only"}));
+  EXPECT_EQ((*db.Get("dom"))->size(), 1u);
+}
+
+TEST(DomainClosureTest, RestrictedQueriesUnchanged) {
+  auto f = ParseFormula("exists x: p(x) & ~q(x, x)");
+  ASSERT_TRUE(f.ok());
+  auto norm = Normalize(*f);
+  ASSERT_TRUE(norm.ok());
+  auto fixed = ApplyDomainClosure(norm->formula, {});
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE(Formula::Equal(*fixed, norm->formula));
+}
+
+TEST(DomainClosureTest, InsertsDomForNegatedVariable) {
+  auto f = ParseFormula("exists x: ~p(x)");
+  ASSERT_TRUE(f.ok());
+  auto fixed = ApplyDomainClosure(*f, {});
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ((*fixed)->ToString(), "exists x: dom(x) & ~p(x)");
+}
+
+TEST(DomainClosureTest, OnlyUnrangedVariablesGetDom) {
+  auto f = ParseFormula("exists x y: p(x) & ~q(x, y)");
+  ASSERT_TRUE(f.ok());
+  auto fixed = ApplyDomainClosure(*f, {});
+  ASSERT_TRUE(fixed.ok());
+  std::string s = (*fixed)->ToString();
+  EXPECT_NE(s.find("dom(y)"), std::string::npos) << s;
+  EXPECT_EQ(s.find("dom(x)"), std::string::npos) << s;
+}
+
+TEST(DomainClosureTest, OpenQueryTargets) {
+  auto q = ParseQuery("{ x | ~p(x) }");
+  ASSERT_TRUE(q.ok());
+  auto fixed = ApplyDomainClosure(q->formula, {"x"});
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ((*fixed)->ToString(), "dom(x) & ~p(x)");
+}
+
+TEST(DomainClosureProcessorTest, DisabledRejectsUnrestricted) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto r = qp.Run("{ x | ~p(x) }");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DomainClosureProcessorTest, EnabledEvaluatesComplement) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  qp.EnableDomainClosure();
+  auto r = qp.Run("{ x | ~p(x) }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Domain {a,b,c,d} minus p {a,b}.
+  EXPECT_EQ(r->answer.relation, UnaryStrings({"c", "d"}));
+}
+
+TEST(DomainClosureProcessorTest, AgreesAcrossStrategies) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  qp.EnableDomainClosure();
+  for (const char* text :
+       {"{ x | ~p(x) }", "{ x, y | q(x, y) | q(y, x) & ~p(y) }",
+        "exists x: ~p(x) & ~(exists y: q(x, y))"}) {
+    auto reference = qp.Run(text, Strategy::kNestedLoop);
+    ASSERT_TRUE(reference.ok()) << text << ": " << reference.status();
+    for (Strategy s : {Strategy::kBry, Strategy::kClassical}) {
+      auto got = qp.Run(text, s);
+      ASSERT_TRUE(got.ok()) << StrategyName(s) << " " << text << ": "
+                            << got.status();
+      if (reference->answer.closed) {
+        EXPECT_EQ(got->answer.truth, reference->answer.truth)
+            << StrategyName(s) << " " << text;
+      } else {
+        EXPECT_EQ(got->answer.relation, reference->answer.relation)
+            << StrategyName(s) << " " << text;
+      }
+    }
+  }
+}
+
+TEST(DomainClosureProcessorTest, UniversalOverDomain) {
+  // ∀x dom-ranged: "is every value in p?" — false here.
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  qp.EnableDomainClosure();
+  auto r = qp.Run("forall x: dom(x) -> p(x)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->answer.truth);
+  Database tiny;
+  tiny.Put("p", UnaryStrings({"a"}));
+  tiny.Put("q", StringPairs({{"a", "a"}}));
+  QueryProcessor qp2(&tiny);
+  qp2.EnableDomainClosure();
+  auto all = qp2.Run("forall x: dom(x) -> p(x)");
+  ASSERT_TRUE(all.ok()) << all.status();
+  EXPECT_TRUE(all->answer.truth);
+}
+
+}  // namespace
+}  // namespace bryql

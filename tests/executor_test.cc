@@ -1,0 +1,343 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/builder.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  db.Put("p", UnaryStrings({"a", "b", "c", "d"}));
+  db.Put("member", StringPairs({{"ann", "cs"},
+                                {"bob", "cs"},
+                                {"cal", "math"},
+                                {"dee", "physics"}}));
+  db.Put("skill", StringPairs({{"ann", "db"}, {"cal", "db"}, {"bob", "ai"}}));
+  db.Put("attends",
+         StringPairs({{"ann", "l1"}, {"ann", "l2"}, {"bob", "l1"}}));
+  db.Put("lecture", UnaryStrings({"l1", "l2"}));
+  return db;
+}
+
+Relation Eval(const Database& db, const ExprPtr& e) {
+  Executor exec(&db);
+  auto r = exec.Evaluate(e);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : Relation(0);
+}
+
+TEST(ExecutorTest, ScanAndSelect) {
+  Database db = MakeDb();
+  Relation r = Eval(
+      db, Expr::Select(Expr::Scan("member"),
+                       Predicate::ColVal(CompareOp::kEq, 1,
+                                         Value::String("cs"))));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Strs({"ann", "cs"})));
+}
+
+TEST(ExecutorTest, ProjectDeduplicates) {
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::Project(Expr::Scan("member"), {1}));
+  EXPECT_EQ(r.size(), 3u);  // cs, math, physics
+}
+
+TEST(ExecutorTest, Product) {
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::Product(Expr::Scan("lecture"),
+                                      Expr::Scan("p")));
+  EXPECT_EQ(r.size(), 8u);
+  EXPECT_EQ(r.arity(), 2u);
+}
+
+TEST(ExecutorTest, EquiJoin) {
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::Join(Expr::Scan("member"),
+                                   Expr::Scan("skill"), {{0, 0}}));
+  // ann x (ann,db), bob x (bob,ai), cal x (cal,db)
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.arity(), 4u);
+  EXPECT_TRUE(r.Contains(Strs({"ann", "cs", "ann", "db"})));
+}
+
+TEST(ExecutorTest, JoinWithResidual) {
+  Database db = MakeDb();
+  Relation r = Eval(
+      db, Expr::Join(Expr::Scan("member"), Expr::Scan("skill"), {{0, 0}},
+                     Predicate::ColVal(CompareOp::kEq, 3,
+                                       Value::String("db"))));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(ExecutorTest, SemiJoin) {
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::SemiJoin(Expr::Scan("member"),
+                                       Expr::Scan("skill"), {{0, 0}}));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_FALSE(r.Contains(Strs({"dee", "physics"})));
+}
+
+TEST(ExecutorTest, ComplementJoinDefinition6) {
+  // §3.1 Q2: member(x,z) ∧ ¬skill(x,db) via complement-join.
+  Database db = MakeDb();
+  ExprPtr skilled_db = Expr::Select(
+      Expr::Scan("skill"),
+      Predicate::ColVal(CompareOp::kEq, 1, Value::String("db")));
+  Relation r = Eval(db, Expr::AntiJoin(Expr::Scan("member"), skilled_db,
+                                       {{0, 0}}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Strs({"bob", "cs"})));
+  EXPECT_TRUE(r.Contains(Strs({"dee", "physics"})));
+}
+
+TEST(ExecutorTest, Proposition3Partition) {
+  // P = π(P ⋈ Q) ∪ (P ⊼ Q) and the two parts are disjoint.
+  Database db = MakeDb();
+  ExprPtr member = Expr::Scan("member");
+  ExprPtr skill = Expr::Scan("skill");
+  Relation semi = Eval(db, Expr::SemiJoin(member, skill, {{0, 0}}));
+  Relation anti = Eval(db, Expr::AntiJoin(member, skill, {{0, 0}}));
+  Relation both = Eval(db, Expr::Union(Expr::SemiJoin(member, skill, {{0, 0}}),
+                                       Expr::AntiJoin(member, skill,
+                                                      {{0, 0}})));
+  Relation base = Eval(db, member);
+  EXPECT_EQ(both, base);
+  EXPECT_EQ(semi.size() + anti.size(), base.size());
+}
+
+TEST(ExecutorTest, Proposition3DifferenceAsComplementJoin) {
+  // If p = q arity: P − Q = P ⊼_{all cols} Q.
+  Database db;
+  db.Put("A", UnaryStrings({"a", "b", "c"}));
+  db.Put("B", UnaryStrings({"b", "d"}));
+  Relation diff = Eval(db, Expr::Difference(Expr::Scan("A"),
+                                            Expr::Scan("B")));
+  Relation anti = Eval(db, Expr::AntiJoin(Expr::Scan("A"), Expr::Scan("B"),
+                                          {{0, 0}}));
+  EXPECT_EQ(diff, anti);
+  EXPECT_EQ(diff.size(), 2u);
+}
+
+TEST(ExecutorTest, UnionIntersectDifference) {
+  Database db;
+  db.Put("A", UnaryInts({1, 2, 3}));
+  db.Put("B", UnaryInts({2, 3, 4}));
+  EXPECT_EQ(Eval(db, Expr::Union(Expr::Scan("A"), Expr::Scan("B"))).size(),
+            4u);
+  EXPECT_EQ(
+      Eval(db, Expr::Intersect(Expr::Scan("A"), Expr::Scan("B"))).size(),
+      2u);
+  EXPECT_EQ(
+      Eval(db, Expr::Difference(Expr::Scan("A"), Expr::Scan("B"))).size(),
+      1u);
+}
+
+TEST(ExecutorTest, DivisionClassic) {
+  // attends ÷ lecture = students attending ALL lectures.
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::Division(Expr::Scan("attends"),
+                                       Expr::Scan("lecture")));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Strs({"ann"})));
+}
+
+TEST(ExecutorTest, GroupDivisionExactPerGroup) {
+  // D = [keep=x, group=y, value=z]; T = [group=y, value=z].
+  // x qualifies with y iff x pairs with every z of y's group.
+  Database db;
+  Relation d(3), t(2);
+  // Group y=1 has values {1,2}; group y=2 has value {3}.
+  t.Insert(Ints({1, 1}));
+  t.Insert(Ints({1, 2}));
+  t.Insert(Ints({2, 3}));
+  // x=10 covers group 1 fully; x=20 covers it partially; x=30 covers
+  // group 2.
+  d.Insert(Ints({10, 1, 1}));
+  d.Insert(Ints({10, 1, 2}));
+  d.Insert(Ints({20, 1, 1}));
+  d.Insert(Ints({30, 2, 3}));
+  d.Insert(Ints({30, 2, 99}));  // extra value not in T: irrelevant
+  db.Put("D", std::move(d));
+  db.Put("T", std::move(t));
+  Relation r = Eval(db, Expr::GroupDivision(Expr::Scan("D"),
+                                            Expr::Scan("T"), 1));
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Ints({10, 1})));
+  EXPECT_TRUE(r.Contains(Ints({30, 2})));
+  EXPECT_FALSE(r.Contains(Ints({20, 1})));
+}
+
+TEST(ExecutorTest, GroupDivisionDiffersFromPlainDivision) {
+  // The paper's literal case-5 expression divides by *all* z of T; the
+  // per-group form divides by the z's of the matching group only.
+  Database db;
+  Relation d(2), t(2);
+  t.Insert(Ints({1, 1}));
+  t.Insert(Ints({2, 2}));  // group 2 demands z=2, group 1 demands z=1
+  d.Insert(Ints({1, 1}));  // (group=1, z=1): full for group 1
+  db.Put("D", std::move(d));
+  db.Put("T", std::move(t));
+  // Group division (keep arity 0): (1) qualifies.
+  Relation grouped = Eval(db, Expr::GroupDivision(Expr::Scan("D"),
+                                                  Expr::Scan("T"), 1));
+  EXPECT_TRUE(grouped.Contains(Ints({1})));
+  // Plain division by π_z(T) = {1,2} demands both values: empty.
+  Relation plain =
+      Eval(db, Expr::Division(Expr::Scan("D"),
+                              Expr::Literal(UnaryInts({1, 2}))));
+  EXPECT_TRUE(plain.empty());
+}
+
+TEST(ExecutorTest, GroupDivisionEmptyInputs) {
+  Database db;
+  db.Put("D", Relation(3));
+  db.Put("T", Relation(2));
+  Relation r = Eval(db, Expr::GroupDivision(Expr::Scan("D"),
+                                            Expr::Scan("T"), 1));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ExecutorTest, GroupDivisionArityValidation) {
+  Database db;
+  db.Put("D", Relation(3));
+  db.Put("T", Relation(2));
+  // group_arity 0 and >= divisor arity are malformed.
+  EXPECT_FALSE(Expr::GroupDivision(Expr::Scan("D"), Expr::Scan("T"), 0)
+                   ->Arity(db)
+                   .ok());
+  EXPECT_FALSE(Expr::GroupDivision(Expr::Scan("D"), Expr::Scan("T"), 2)
+                   ->Arity(db)
+                   .ok());
+  EXPECT_EQ(*Expr::GroupDivision(Expr::Scan("D"), Expr::Scan("T"), 1)
+                 ->Arity(db),
+            2u);
+}
+
+TEST(ExecutorTest, GroupCountPerGroup) {
+  Database db;
+  Relation r(2);
+  r.Insert(Ints({1, 10}));
+  r.Insert(Ints({1, 20}));
+  r.Insert(Ints({2, 10}));
+  db.Put("r", std::move(r));
+  Relation counts = Eval(db, Expr::GroupCount(Expr::Scan("r"), 1));
+  EXPECT_EQ(counts.arity(), 2u);
+  EXPECT_TRUE(counts.Contains(Ints({1, 2})));
+  EXPECT_TRUE(counts.Contains(Ints({2, 1})));
+  EXPECT_EQ(counts.size(), 2u);
+}
+
+TEST(ExecutorTest, GroupCountTotalWithZeroGroups) {
+  Database db;
+  db.Put("r", UnaryInts({5, 6, 7}));
+  Relation total = Eval(db, Expr::GroupCount(Expr::Scan("r"), 0));
+  EXPECT_EQ(total.arity(), 1u);
+  EXPECT_EQ(total.size(), 1u);
+  EXPECT_TRUE(total.Contains(Ints({3})));
+}
+
+TEST(ExecutorTest, GroupCountOfEmptyInputIsEmpty) {
+  Database db;
+  db.Put("r", Relation(2));
+  Relation counts = Eval(db, Expr::GroupCount(Expr::Scan("r"), 1));
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(ExecutorTest, DivisionByEmptyDivisorKeepsAllPrefixes) {
+  Database db = MakeDb();
+  db.Put("none", Relation(1));
+  Relation r = Eval(db, Expr::Division(Expr::Scan("attends"),
+                                       Expr::Scan("none")));
+  EXPECT_EQ(r.size(), 2u);  // ann, bob
+}
+
+TEST(ExecutorTest, OuterJoinPadsWithNull) {
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::OuterJoin(Expr::Scan("p"),
+                                        Expr::Scan("skill"), {{0, 0}}));
+  EXPECT_EQ(r.size(), 4u);  // p preserved (no skill rows match p values)
+  for (const Tuple& t : r.rows()) {
+    EXPECT_TRUE(t.at(1).is_null());
+  }
+}
+
+TEST(ExecutorTest, MarkJoinProducesMarks) {
+  Database db = MakeDb();
+  Relation r = Eval(db, Expr::MarkJoin(Expr::Scan("member"),
+                                       Expr::Scan("skill"), {{0, 0}}));
+  EXPECT_EQ(r.arity(), 3u);
+  size_t marked = 0;
+  for (const Tuple& t : r.rows()) {
+    if (t.at(2).is_mark()) ++marked;
+  }
+  EXPECT_EQ(marked, 3u);  // ann, bob, cal have skills
+}
+
+TEST(ExecutorTest, BooleanShortCircuit) {
+  Database db = MakeDb();
+  ExprPtr t = Expr::NonEmpty(Expr::Scan("p"));
+  ExprPtr f = Expr::NonEmpty(Expr::Literal(Relation(1)));
+  Executor exec(&db);
+  EXPECT_TRUE(*exec.EvaluateBool(t));
+  EXPECT_FALSE(*exec.EvaluateBool(f));
+  EXPECT_FALSE(*exec.EvaluateBool(Expr::BoolAnd({t, f})));
+  EXPECT_TRUE(*exec.EvaluateBool(Expr::BoolOr({f, t})));
+  EXPECT_TRUE(*exec.EvaluateBool(Expr::BoolNot(f)));
+}
+
+TEST(ExecutorTest, NonEmptyStopsAtFirstWitness) {
+  // The §3.2 non-emptiness test: only one tuple is pulled from the scan.
+  Database db;
+  Relation big(1);
+  for (int i = 0; i < 1000; ++i) big.Insert(Ints({i}));
+  db.Put("big", big);
+  Executor exec(&db);
+  ASSERT_TRUE(*exec.EvaluateBool(Expr::NonEmpty(Expr::Scan("big"))));
+  EXPECT_EQ(exec.stats().tuples_scanned, 1u);
+}
+
+TEST(ExecutorTest, NonEmptySelectScansUntilFirstHit) {
+  Database db;
+  Relation big(1);
+  for (int i = 0; i < 1000; ++i) big.Insert(Ints({i}));
+  db.Put("big", big);
+  Executor exec(&db);
+  ExprPtr probe = Expr::NonEmpty(Expr::Select(
+      Expr::Scan("big"), Predicate::ColVal(CompareOp::kEq, 0,
+                                           Value::Int(499))));
+  ASSERT_TRUE(*exec.EvaluateBool(probe));
+  EXPECT_EQ(exec.stats().tuples_scanned, 500u);
+}
+
+TEST(ExecutorTest, StatsCountScans) {
+  Database db = MakeDb();
+  Executor exec(&db);
+  ASSERT_TRUE(exec.Evaluate(Expr::Scan("member")).ok());
+  EXPECT_EQ(exec.stats().tuples_scanned, 4u);
+  exec.ResetStats();
+  EXPECT_EQ(exec.stats().tuples_scanned, 0u);
+}
+
+TEST(ExecutorTest, EmptyInputsAreHandled) {
+  Database db;
+  db.Put("empty", Relation(2));
+  db.Put("one", StringPairs({{"a", "b"}}));
+  EXPECT_EQ(Eval(db, Expr::Join(Expr::Scan("empty"), Expr::Scan("one"),
+                                {{0, 0}}))
+                .size(),
+            0u);
+  EXPECT_EQ(Eval(db, Expr::Product(Expr::Scan("one"), Expr::Scan("empty")))
+                .size(),
+            0u);
+  EXPECT_EQ(Eval(db, Expr::AntiJoin(Expr::Scan("one"), Expr::Scan("empty"),
+                                    {{0, 0}}))
+                .size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,105 @@
+// EXPLAIN surfaces: plan pretty-printing, canonical-form reporting and
+// cost annotation, across strategies — what a user debugging a query sees.
+
+#include <gtest/gtest.h>
+
+#include "algebra/cost_model.h"
+#include "core/query_processor.h"
+#include "storage/builder.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  db.Put("student", UnaryStrings({"ann", "bob"}));
+  db.Put("lecture", StringPairs({{"l1", "db"}, {"l2", "ai"}}));
+  db.Put("attends", StringPairs({{"ann", "l1"}, {"bob", "l2"}}));
+  db.Put("speaks", StringPairs({{"ann", "french"}}));
+  return db;
+}
+
+TEST(ExplainTest, CanonicalFormReported) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain(
+      "exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y))");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  ASSERT_NE(exec->canonical, nullptr);
+  // Rules 4/5 applied: the ∀ is gone.
+  EXPECT_EQ(exec->canonical->ToString().find("forall"), std::string::npos);
+  EXPECT_GE(exec->rewrite_steps, 1u);
+}
+
+TEST(ExplainTest, PlanTreeNamesOperators) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain("{ x | student(x) & ~speaks(x, french) }");
+  ASSERT_TRUE(exec.ok());
+  std::string plan = exec->plan->ToString();
+  EXPECT_NE(plan.find("ComplementJoin"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("Scan student"), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, MarkJoinPlansShowConstraints) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain(
+      "{ x | student(x) & (speaks(x, french) | attends(x, l1)) }");
+  ASSERT_TRUE(exec.ok());
+  std::string plan = exec->plan->ToString();
+  EXPECT_NE(plan.find("ConstrainedOuterJoin"), std::string::npos) << plan;
+  // The second join is guarded by a "not yet accepted" constraint.
+  EXPECT_NE(plan.find("if "), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, NestedLoopStrategyHasNoPlan) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain("exists x: student(x)", Strategy::kNestedLoop);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->plan, nullptr);
+  EXPECT_NE(exec->canonical, nullptr);
+}
+
+TEST(ExplainTest, ClassicalStrategyHasNoCanonicalPhase) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain("exists x: student(x)", Strategy::kClassical);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->canonical, nullptr);
+  EXPECT_NE(exec->plan, nullptr);
+}
+
+TEST(ExplainTest, CostAnnotationCoversEveryNode) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain(
+      "{ x | student(x) & (exists y: attends(x, y)) }");
+  ASSERT_TRUE(exec.ok());
+  CostModel model(&db);
+  auto annotated = model.Annotate(exec->plan);
+  ASSERT_TRUE(annotated.ok()) << annotated.status();
+  // One "rows~" annotation per operator node.
+  size_t nodes = exec->plan->Size();
+  size_t count = 0, pos = 0;
+  while ((pos = annotated->find("rows~", pos)) != std::string::npos) {
+    ++count;
+    pos += 5;
+  }
+  EXPECT_EQ(count, nodes) << *annotated;
+}
+
+TEST(ExplainTest, AnswerToStringForms) {
+  Database db = MakeDb();
+  QueryProcessor qp(&db);
+  auto closed = qp.Run("exists x: student(x)");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed->answer.ToString(), "true");
+  auto open = qp.Run("{ x | student(x) }");
+  ASSERT_TRUE(open.ok());
+  EXPECT_NE(open->answer.ToString().find("'ann'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,129 @@
+#include "calculus/formula.h"
+
+#include <gtest/gtest.h>
+
+namespace bryql {
+namespace {
+
+FormulaPtr P(const char* v) { return Formula::Atom("p", {V(v)}); }
+FormulaPtr Q(const char* v) { return Formula::Atom("q", {V(v)}); }
+
+TEST(FormulaTest, AtomAccessors) {
+  FormulaPtr f = Formula::Atom("speaks", {V("x"), C("french")});
+  EXPECT_EQ(f->kind(), FormulaKind::kAtom);
+  EXPECT_EQ(f->predicate(), "speaks");
+  ASSERT_EQ(f->terms().size(), 2u);
+  EXPECT_TRUE(f->terms()[0].is_variable());
+  EXPECT_TRUE(f->terms()[1].is_constant());
+}
+
+TEST(FormulaTest, AndFlattensNested) {
+  FormulaPtr f = Formula::And(Formula::And(P("x"), Q("x")), P("y"));
+  EXPECT_EQ(f->kind(), FormulaKind::kAnd);
+  EXPECT_EQ(f->children().size(), 3u);
+}
+
+TEST(FormulaTest, SingletonNaryCollapses) {
+  FormulaPtr f = Formula::And({P("x")});
+  EXPECT_EQ(f->kind(), FormulaKind::kAtom);
+}
+
+TEST(FormulaTest, QuantifierMergesNested) {
+  // The ∃x1...xn shorthand of §1: nested like quantifiers merge.
+  FormulaPtr f = Formula::Exists({"x"}, Formula::Exists({"y"}, P("x")));
+  EXPECT_EQ(f->kind(), FormulaKind::kExists);
+  EXPECT_EQ(f->vars().size(), 2u);
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kAtom);
+}
+
+TEST(FormulaTest, QuantifierDoesNotMergeAcrossKinds) {
+  FormulaPtr f = Formula::Exists({"x"}, Formula::Forall({"y"}, P("x")));
+  EXPECT_EQ(f->vars().size(), 1u);
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kForall);
+}
+
+TEST(FormulaTest, FreeVariablesBasic) {
+  FormulaPtr f = Formula::And(P("x"), Formula::Exists({"y"}, Q("y")));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"x"}));
+}
+
+TEST(FormulaTest, FreeVariablesShadowing) {
+  // x free in the left conjunct, bound in the right one.
+  FormulaPtr f = Formula::And(P("x"), Formula::Exists({"x"}, P("x")));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"x"}));
+  FormulaPtr closed = Formula::Exists({"x"}, P("x"));
+  EXPECT_TRUE(closed->FreeVariables().empty());
+}
+
+TEST(FormulaTest, FreeVariablesFirstOccurrenceOrder) {
+  FormulaPtr f = Formula::And(Formula::Atom("r", {V("b"), V("a")}), P("c"));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(FormulaTest, AllVariablesIncludesBound) {
+  FormulaPtr f = Formula::Exists({"y"}, Formula::Atom("r", {V("x"), V("y")}));
+  std::set<std::string> all = f->AllVariables();
+  EXPECT_TRUE(all.count("x"));
+  EXPECT_TRUE(all.count("y"));
+}
+
+TEST(FormulaTest, ToStringRoundTripShapes) {
+  FormulaPtr f = Formula::Exists(
+      {"x"}, Formula::And(P("x"), Formula::Not(Q("x"))));
+  EXPECT_EQ(f->ToString(), "exists x: p(x) & ~q(x)");
+}
+
+TEST(FormulaTest, ToStringPrecedence) {
+  FormulaPtr f = Formula::And(Formula::Or(P("x"), Q("x")), P("y"));
+  EXPECT_EQ(f->ToString(), "(p(x) | q(x)) & p(y)");
+}
+
+TEST(FormulaTest, StructuralEquality) {
+  FormulaPtr a = Formula::Exists({"x", "y"},
+                                 Formula::Atom("r", {V("x"), V("y")}));
+  FormulaPtr b = Formula::Exists({"y", "x"},
+                                 Formula::Atom("r", {V("x"), V("y")}));
+  // Variable order inside one quantifier is irrelevant (§1).
+  EXPECT_TRUE(Formula::Equal(a, b));
+  EXPECT_EQ(Formula::Hash(a), Formula::Hash(b));
+  FormulaPtr c = Formula::Exists({"x", "y"},
+                                 Formula::Atom("r", {V("y"), V("x")}));
+  EXPECT_FALSE(Formula::Equal(a, c));
+}
+
+TEST(FormulaTest, SizeCountsNodes) {
+  FormulaPtr f = Formula::Not(Formula::And(P("x"), Q("x")));
+  EXPECT_EQ(f->Size(), 4u);
+}
+
+TEST(FormulaTest, SubstituteConstants) {
+  FormulaPtr f = Formula::And(P("x"), Formula::Exists({"y"}, Formula::Atom(
+                                          "r", {V("x"), V("y")})));
+  std::map<std::string, Term> binding = {{"x", C("a")}};
+  FormulaPtr g = Substitute(f, binding);
+  EXPECT_EQ(g->ToString(), "p('a') & (exists y: r('a', y))");
+}
+
+TEST(FormulaTest, SubstituteRespectsShadowing) {
+  FormulaPtr f = Formula::Exists({"x"}, P("x"));
+  std::map<std::string, Term> binding = {{"x", C("a")}};
+  FormulaPtr g = Substitute(f, binding);
+  EXPECT_TRUE(Formula::Equal(f, g));
+}
+
+TEST(FormulaTest, NegateCompareOps) {
+  EXPECT_EQ(NegateCompareOp(CompareOp::kEq), CompareOp::kNe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateCompareOp(CompareOp::kLe), CompareOp::kGt);
+  EXPECT_EQ(NegateCompareOp(NegateCompareOp(CompareOp::kGt)), CompareOp::kGt);
+}
+
+TEST(FormulaTest, IsLiteral) {
+  EXPECT_TRUE(P("x")->is_literal());
+  EXPECT_TRUE(Formula::Not(P("x"))->is_literal());
+  EXPECT_FALSE(Formula::Not(Formula::And(P("x"), Q("x")))->is_literal());
+  EXPECT_FALSE(Formula::Exists({"x"}, P("x"))->is_literal());
+}
+
+}  // namespace
+}  // namespace bryql

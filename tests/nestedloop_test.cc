@@ -1,0 +1,166 @@
+#include "nestedloop/nested_loop.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/builder.h"
+
+namespace bryql {
+namespace {
+
+Database UniversityDb() {
+  Database db;
+  db.Put("student", UnaryStrings({"ann", "bob", "cal"}));
+  db.Put("lecture", StringPairs({{"l1", "db"}, {"l2", "db"}, {"l3", "ai"}}));
+  db.Put("attends", StringPairs({{"ann", "l1"},
+                                 {"ann", "l2"},
+                                 {"ann", "l3"},
+                                 {"bob", "l1"},
+                                 {"cal", "l3"}}));
+  db.Put("enrolled", StringPairs({{"ann", "cs"}, {"bob", "cs"},
+                                  {"cal", "math"}}));
+  return db;
+}
+
+Query Q(const std::string& text) {
+  auto q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << text << " -> " << q.status();
+  return q.ok() ? *q : Query{};
+}
+
+bool Closed(const Database& db, const std::string& text) {
+  NestedLoopEvaluator eval(&db);
+  auto r = eval.EvaluateClosed(Q(text).formula);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() && *r;
+}
+
+Relation Open(const Database& db, const std::string& text) {
+  NestedLoopEvaluator eval(&db);
+  auto r = eval.EvaluateOpen(Q(text));
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? *r : Relation(0);
+}
+
+TEST(NestedLoopTest, ClosedExistential) {
+  Database db = UniversityDb();
+  EXPECT_TRUE(Closed(db, "exists x: student(x)"));
+  EXPECT_TRUE(Closed(db, "exists x: student(x) & attends(x, l1)"));
+  EXPECT_FALSE(Closed(db, "exists x: student(x) & attends(x, l9)"));
+}
+
+TEST(NestedLoopTest, ClosedUniversal) {
+  Database db = UniversityDb();
+  // Every student attends some lecture.
+  EXPECT_TRUE(Closed(
+      db, "forall x: student(x) -> (exists y: attends(x, y))"));
+  // Not every student attends l1.
+  EXPECT_FALSE(Closed(db, "forall x: student(x) -> attends(x, l1)"));
+}
+
+TEST(NestedLoopTest, PaperRunningExample) {
+  Database db = UniversityDb();
+  // There is a student attending all db lectures (ann), and every student
+  // attends at least one lecture.
+  EXPECT_TRUE(Closed(
+      db,
+      "(exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)))"
+      " & (forall z1: student(z1) -> (exists z2: attends(z1, z2)))"));
+}
+
+TEST(NestedLoopTest, OpenQueryCollectsAllAnswers) {
+  Database db = UniversityDb();
+  Relation r = Open(db, "{ x | student(x) & attends(x, l1) }");
+  EXPECT_EQ(r, UnaryStrings({"ann", "bob"}));
+}
+
+TEST(NestedLoopTest, OpenQueryWithNegation) {
+  Database db = UniversityDb();
+  Relation r = Open(db, "{ x | student(x) & ~enrolled(x, cs) }");
+  EXPECT_EQ(r, UnaryStrings({"cal"}));
+}
+
+TEST(NestedLoopTest, OpenQueryUniversalFilter) {
+  // Students attending all db lectures.
+  Database db = UniversityDb();
+  Relation r = Open(
+      db,
+      "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }");
+  EXPECT_EQ(r, UnaryStrings({"ann"}));
+}
+
+TEST(NestedLoopTest, OpenQueryDisjunctiveFilter) {
+  Database db = UniversityDb();
+  Relation r = Open(
+      db, "{ x | student(x) & (attends(x, l2) | enrolled(x, math)) }");
+  EXPECT_EQ(r, UnaryStrings({"ann", "cal"}));
+}
+
+TEST(NestedLoopTest, DisjunctiveRangeDeduplicates) {
+  Database db = UniversityDb();
+  // ann appears via both disjuncts but only once in the answer.
+  Relation r =
+      Open(db, "{ x | (student(x) | enrolled(x, cs)) & attends(x, l1) }");
+  EXPECT_EQ(r, UnaryStrings({"ann", "bob"}));
+}
+
+TEST(NestedLoopTest, ExistentialStopsEarly) {
+  // Figure 1a: the loop stops at the first witness.
+  Database db;
+  Relation big(1);
+  for (int i = 0; i < 1000; ++i) big.Insert(Ints({i}));
+  db.Put("big", big);
+  NestedLoopEvaluator eval(&db);
+  auto r = eval.EvaluateClosed(Q("exists x: big(x)").formula);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_EQ(eval.stats().tuples_scanned, 1u);
+}
+
+TEST(NestedLoopTest, UniversalStopsAtCounterexample) {
+  // Figure 1b: the loop stops at the first counterexample.
+  Database db;
+  Relation big(1);
+  for (int i = 0; i < 1000; ++i) big.Insert(Ints({i}));
+  db.Put("big", big);
+  db.Put("even", UnaryInts({0}));
+  NestedLoopEvaluator eval(&db);
+  auto r = eval.EvaluateClosed(
+      Q("forall x: big(x) -> even(x)").formula);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  EXPECT_LE(eval.stats().tuples_scanned, 2u);
+}
+
+TEST(NestedLoopTest, ComparisonsInQueries) {
+  Database db = UniversityDb();
+  EXPECT_TRUE(Closed(db, "exists x y: attends(x, y) & y != l1"));
+  Relation r = Open(db, "{ x | student(x) & x = ann }");
+  EXPECT_EQ(r, UnaryStrings({"ann"}));
+}
+
+TEST(NestedLoopTest, UnsafeQueryRejected) {
+  Database db = UniversityDb();
+  NestedLoopEvaluator eval(&db);
+  auto r = eval.EvaluateClosed(Q("exists x: ~student(x)").formula);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(NestedLoopTest, ClosedRequiresClosedFormula) {
+  Database db = UniversityDb();
+  NestedLoopEvaluator eval(&db);
+  auto f = ParseFormula("student(x)", {"x"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(eval.EvaluateClosed(*f).ok());
+}
+
+TEST(NestedLoopTest, MissingRelationIsNotFound) {
+  Database db;
+  NestedLoopEvaluator eval(&db);
+  auto r = eval.EvaluateClosed(Q("exists x: ghost(x)").formula);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace bryql

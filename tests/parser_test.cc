@@ -1,0 +1,149 @@
+#include "calculus/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace bryql {
+namespace {
+
+FormulaPtr MustParse(const std::string& text) {
+  auto r = ParseQuery(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? r->formula : nullptr;
+}
+
+TEST(ParserTest, ClosedAtomQuery) {
+  FormulaPtr f = MustParse("exists x: student(x)");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind(), FormulaKind::kExists);
+  EXPECT_EQ(f->child()->predicate(), "student");
+}
+
+TEST(ParserTest, OpenQueryTargets) {
+  auto q = ParseQuery("{ x, y | member(x, y) }");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->targets, (std::vector<std::string>{"x", "y"}));
+  EXPECT_FALSE(q->closed());
+}
+
+TEST(ParserTest, TargetMustOccur) {
+  auto q = ParseQuery("{ x, z | member(x, x) }");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST(ParserTest, UnboundIdentifierIsConstant) {
+  // The paper's convention: enrolled(x, cs) — x quantified, cs a constant.
+  FormulaPtr f = MustParse("exists x: enrolled(x, cs)");
+  const auto& terms = f->child()->terms();
+  EXPECT_TRUE(terms[0].is_variable());
+  ASSERT_TRUE(terms[1].is_constant());
+  EXPECT_EQ(terms[1].constant(), Value::String("cs"));
+}
+
+TEST(ParserTest, NumbersAndQuotedStrings) {
+  FormulaPtr f = MustParse("exists x: r(x, 42, -7, 2.5, 'hello world')");
+  const auto& terms = f->child()->terms();
+  EXPECT_EQ(terms[1].constant(), Value::Int(42));
+  EXPECT_EQ(terms[2].constant(), Value::Int(-7));
+  EXPECT_EQ(terms[3].constant(), Value::Double(2.5));
+  EXPECT_EQ(terms[4].constant(), Value::String("hello world"));
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  FormulaPtr f = MustParse("exists x: p(x) | q(x) & r(x)");
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kOr);
+  EXPECT_EQ(f->child()->children()[1]->kind(), FormulaKind::kAnd);
+}
+
+TEST(ParserTest, WordConnectives) {
+  FormulaPtr f = MustParse("exists x: p(x) and not q(x) or r(x)");
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kOr);
+}
+
+TEST(ParserTest, ImplicationRightAssociative) {
+  FormulaPtr f = MustParse("forall x: p(x) -> q(x) -> r(x)");
+  const FormulaPtr& body = f->child();
+  EXPECT_EQ(body->kind(), FormulaKind::kImplies);
+  EXPECT_EQ(body->children()[1]->kind(), FormulaKind::kImplies);
+}
+
+TEST(ParserTest, QuantifierScopeExtendsRight) {
+  FormulaPtr f = MustParse("exists x: p(x) & q(x)");
+  EXPECT_EQ(f->kind(), FormulaKind::kExists);
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kAnd);
+}
+
+TEST(ParserTest, ParenthesesCloseScope) {
+  FormulaPtr f = MustParse("(exists x: p(x)) & q(c)");
+  EXPECT_EQ(f->kind(), FormulaKind::kAnd);
+}
+
+TEST(ParserTest, MultiVariableQuantifier) {
+  FormulaPtr f = MustParse("exists x y: r(x, y)");
+  EXPECT_EQ(f->vars(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ParserTest, ComparisonOperators) {
+  FormulaPtr f =
+      MustParse("exists x y: r(x, y) & x != y & x < 10 & y >= 2 & x <> y");
+  const auto& parts = f->child()->children();
+  EXPECT_EQ(parts[1]->compare_op(), CompareOp::kNe);
+  EXPECT_EQ(parts[2]->compare_op(), CompareOp::kLt);
+  EXPECT_EQ(parts[3]->compare_op(), CompareOp::kGe);
+  EXPECT_EQ(parts[4]->compare_op(), CompareOp::kNe);
+}
+
+TEST(ParserTest, HyphenatedPredicateNames) {
+  FormulaPtr f = MustParse("exists y: cs-lecture(y)");
+  EXPECT_EQ(f->child()->predicate(), "cs-lecture");
+}
+
+TEST(ParserTest, HyphenBeforeArrowIsNotIdentifier) {
+  FormulaPtr f = MustParse("forall x: p(x) -> q(x)");
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kImplies);
+}
+
+TEST(ParserTest, PaperRunningExample) {
+  // §1: a student attending all database lectures, each student attends
+  // at least one lecture.
+  FormulaPtr f = MustParse(
+      "exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)) & "
+      "(forall z1: student(z1) -> (exists z2: attends(z1, z2)))");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind(), FormulaKind::kExists);
+  EXPECT_EQ(f->child()->children().size(), 3u);
+}
+
+TEST(ParserTest, IffParses) {
+  // The quantifier scope extends right, swallowing the <->.
+  FormulaPtr f = MustParse("exists x: p(x) <-> q(x)");
+  EXPECT_EQ(f->kind(), FormulaKind::kExists);
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kIff);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("exists : p(x)").ok());
+  EXPECT_FALSE(ParseQuery("p(x").ok());
+  EXPECT_FALSE(ParseQuery("exists x: p(x) &").ok());
+  EXPECT_FALSE(ParseQuery("{ | p(a) }").ok());
+  EXPECT_FALSE(ParseQuery("exists x: 'unterminated").ok());
+  EXPECT_FALSE(ParseQuery("").ok());
+}
+
+TEST(ParserTest, QueryToString) {
+  auto q = ParseQuery("{ x | p(x) & ~q(x) }");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(), "{ x | p(x) & ~q(x) }");
+}
+
+TEST(ParserTest, ParseFormulaWithPreboundVars) {
+  auto f = ParseFormula("p(x) & q(y)", {"x", "y"});
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)->FreeVariables(), (std::vector<std::string>{"x", "y"}));
+}
+
+TEST(ParserTest, NestedBracesNotAllowed) {
+  EXPECT_FALSE(ParseQuery("{ x | { y | p(y) } }").ok());
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,106 @@
+// Global plan invariants over the whole paper query suite — the paper's
+// §3/§4 structural promises, checked for every query rather than
+// hand-picked examples:
+//
+//   * the default translation never emits a division or a cartesian
+//     product of ranges;
+//   * closed queries always evaluate through a boolean/non-emptiness root;
+//   * plans only reference relations that exist (validated arities);
+//   * translation is deterministic.
+
+#include <gtest/gtest.h>
+
+#include "core/query_processor.h"
+#include "workload/university.h"
+
+namespace bryql {
+namespace {
+
+bool PlanContains(const ExprPtr& e, ExprKind kind) {
+  if (e->kind() == kind) return true;
+  for (const ExprPtr& c : e->children()) {
+    if (PlanContains(c, kind)) return true;
+  }
+  return false;
+}
+
+class PlanInvariantsTest : public ::testing::Test {
+ protected:
+  PlanInvariantsTest() {
+    UniversityConfig config;
+    config.students = 50;
+    config.lectures = 12;
+    config.seed = 3;
+    db_ = MakeUniversity(config);
+  }
+  Database db_;
+};
+
+TEST_F(PlanInvariantsTest, NoDivisionNoProductUnderDefaultStrategy) {
+  QueryProcessor qp(&db_);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    auto exec = qp.Explain(nq.text, Strategy::kBry);
+    ASSERT_TRUE(exec.ok()) << nq.name << ": " << exec.status();
+    EXPECT_FALSE(PlanContains(exec->plan, ExprKind::kDivision))
+        << nq.name << "\n" << exec->plan->ToString();
+    EXPECT_FALSE(PlanContains(exec->plan, ExprKind::kGroupDivision))
+        << nq.name;
+    EXPECT_FALSE(PlanContains(exec->plan, ExprKind::kProduct))
+        << nq.name << "\n" << exec->plan->ToString();
+  }
+}
+
+TEST_F(PlanInvariantsTest, ClosedQueriesRootInBooleans) {
+  QueryProcessor qp(&db_);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    if (nq.text[0] == '{') continue;
+    auto exec = qp.Explain(nq.text, Strategy::kBry);
+    ASSERT_TRUE(exec.ok()) << nq.name;
+    ExprKind root = exec->plan->kind();
+    EXPECT_TRUE(root == ExprKind::kNonEmpty || root == ExprKind::kBoolAnd ||
+                root == ExprKind::kBoolOr || root == ExprKind::kBoolNot)
+        << nq.name << ": " << ExprKindName(root);
+  }
+}
+
+TEST_F(PlanInvariantsTest, PlansValidateAgainstCatalog) {
+  QueryProcessor qp(&db_);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    for (Strategy s :
+         {Strategy::kBry, Strategy::kBryDivision, Strategy::kClassical}) {
+      auto exec = qp.Explain(nq.text, s);
+      ASSERT_TRUE(exec.ok()) << nq.name;
+      EXPECT_TRUE(exec->plan->Arity(db_).ok())
+          << nq.name << " [" << StrategyName(s) << "]";
+    }
+  }
+}
+
+TEST_F(PlanInvariantsTest, TranslationIsDeterministic) {
+  QueryProcessor qp(&db_);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    auto a = qp.Explain(nq.text, Strategy::kBry);
+    auto b = qp.Explain(nq.text, Strategy::kBry);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a->plan->ToString(), b->plan->ToString()) << nq.name;
+    EXPECT_EQ(a->rewrite_steps, b->rewrite_steps) << nq.name;
+  }
+}
+
+TEST_F(PlanInvariantsTest, CanonicalFormsAreCanonical) {
+  // Normalizing a canonical form is a no-op, and the result is miniscope
+  // and restricted, for every suite query.
+  QueryProcessor qp(&db_);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    auto exec = qp.Explain(nq.text, Strategy::kBry);
+    ASSERT_TRUE(exec.ok()) << nq.name;
+    auto again = Normalize(exec->canonical);
+    ASSERT_TRUE(again.ok()) << nq.name;
+    EXPECT_EQ(again->steps(), 0u)
+        << nq.name << ": " << exec->canonical->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace bryql

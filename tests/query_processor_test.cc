@@ -1,0 +1,137 @@
+#include "core/query_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/builder.h"
+#include "workload/university.h"
+
+namespace bryql {
+namespace {
+
+UniversityConfig SmallConfig(uint64_t seed) {
+  UniversityConfig config;
+  config.students = 40;
+  config.professors = 10;
+  config.lectures = 18;
+  config.seed = seed;
+  return config;
+}
+
+TEST(QueryProcessorTest, ClosedQueryEndToEnd) {
+  Database db = MakeUniversity(SmallConfig(1));
+  QueryProcessor qp(&db);
+  auto exec = qp.Run("exists x: student(x)");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_TRUE(exec->answer.closed);
+  EXPECT_TRUE(exec->answer.truth);
+  EXPECT_NE(exec->plan, nullptr);
+}
+
+TEST(QueryProcessorTest, OpenQueryEndToEnd) {
+  Database db = MakeUniversity(SmallConfig(1));
+  QueryProcessor qp(&db);
+  auto exec = qp.Run("{ x | student(x) & makes(x, phd) }");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_FALSE(exec->answer.closed);
+  EXPECT_GT(exec->answer.relation.size(), 0u);
+}
+
+TEST(QueryProcessorTest, ExplainDoesNotExecute) {
+  Database db = MakeUniversity(SmallConfig(1));
+  QueryProcessor qp(&db);
+  auto exec = qp.Explain("{ x | student(x) & ~skill(x, db) }");
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  EXPECT_NE(exec->plan, nullptr);
+  EXPECT_EQ(exec->stats.tuples_scanned, 0u);
+}
+
+TEST(QueryProcessorTest, ParseErrorsPropagate) {
+  Database db;
+  QueryProcessor qp(&db);
+  EXPECT_FALSE(qp.Run("exists x: (").ok());
+}
+
+TEST(QueryProcessorTest, UnsafeQueryReportsUnsupported) {
+  Database db = MakeUniversity(SmallConfig(1));
+  QueryProcessor qp(&db);
+  auto exec = qp.Run("exists x: ~student(x)");
+  EXPECT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(QueryProcessorTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kBry), "bry");
+  EXPECT_STREQ(StrategyName(Strategy::kClassical), "classical");
+  EXPECT_STREQ(StrategyName(Strategy::kNestedLoop), "nested-loop");
+}
+
+/// The whole paper query suite must agree across all strategies — the
+/// headline semantic property of the reproduction.
+class SuiteAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SuiteAgreementTest, AllStrategiesAgreeOnPaperSuite) {
+  Database db = MakeUniversity(SmallConfig(GetParam()));
+  QueryProcessor qp(&db);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    auto reference = qp.Run(nq.text, Strategy::kNestedLoop);
+    ASSERT_TRUE(reference.ok())
+        << nq.name << ": " << reference.status();
+    for (Strategy s :
+         {Strategy::kBry, Strategy::kBryDivision, Strategy::kQuelCounting,
+          Strategy::kBryUnionFilters, Strategy::kClassical}) {
+      auto got = qp.Run(nq.text, s);
+      ASSERT_TRUE(got.ok())
+          << nq.name << " [" << StrategyName(s) << "]: " << got.status();
+      if (reference->answer.closed) {
+        EXPECT_EQ(got->answer.truth, reference->answer.truth)
+            << nq.name << " [" << StrategyName(s) << "] seed " << GetParam();
+      } else {
+        EXPECT_EQ(got->answer.relation, reference->answer.relation)
+            << nq.name << " [" << StrategyName(s) << "] seed " << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SuiteAgreementTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 11u));
+
+TEST(WorkloadTest, UniversityShape) {
+  UniversityConfig config = SmallConfig(5);
+  Database db = MakeUniversity(config);
+  EXPECT_EQ((*db.Get("student"))->size(), config.students);
+  EXPECT_EQ((*db.Get("professor"))->size(), config.professors);
+  EXPECT_EQ((*db.Get("lecture"))->size(), config.lectures);
+  EXPECT_GT((*db.Get("attends"))->size(), 0u);
+  EXPECT_EQ((*db.Get("lecture"))->arity(), 2u);
+  // cs-lecture = lectures with subject db.
+  QueryProcessor qp(&db);
+  auto a = qp.Run("{ y | cs-lecture(y) }");
+  auto b = qp.Run("{ y | lecture(y, db) }");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->answer.relation, b->answer.relation);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  Database a = MakeUniversity(SmallConfig(9));
+  Database b = MakeUniversity(SmallConfig(9));
+  EXPECT_EQ(*(*a.Get("attends")), *(*b.Get("attends")));
+  Database c = MakeUniversity(SmallConfig(10));
+  EXPECT_NE(*(*a.Get("attends")), *(*c.Get("attends")));
+}
+
+TEST(WorkloadTest, CompletionistsExist) {
+  UniversityConfig config = SmallConfig(3);
+  config.students = 100;
+  config.completionist_fraction = 0.2;
+  Database db = MakeUniversity(config);
+  QueryProcessor qp(&db);
+  auto r = qp.Run(
+      "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r->answer.relation.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,162 @@
+#include "calculus/range_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/parser.h"
+
+namespace bryql {
+namespace {
+
+FormulaPtr F(const std::string& text,
+             const std::vector<std::string>& bound = {}) {
+  auto r = ParseFormula(text, bound);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? *r : nullptr;
+}
+
+std::set<std::string> S(std::initializer_list<std::string> v) {
+  return std::set<std::string>(v);
+}
+
+TEST(ProducedVariablesTest, AtomProducesItsVariables) {
+  auto p = ProducedVariables(F("r(x, y)", {"x", "y"}), {});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, S({"x", "y"}));
+}
+
+TEST(ProducedVariablesTest, AtomWithConstantsStillProduces) {
+  // Definition 1 generalization: lecture(y, db) ranges y.
+  auto p = ProducedVariables(F("lecture(y, db)", {"y"}), {});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, S({"y"}));
+}
+
+TEST(ProducedVariablesTest, NegationProducesNothing) {
+  EXPECT_FALSE(ProducedVariables(F("~p(x)", {"x"}), {}).has_value());
+}
+
+TEST(ProducedVariablesTest, EqualityWithConstantProduces) {
+  auto p = ProducedVariables(F("x = 3", {"x"}), {});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, S({"x"}));
+}
+
+TEST(ProducedVariablesTest, EqualityOfTwoUnboundIsFilterOnly) {
+  EXPECT_FALSE(ProducedVariables(F("x = y", {"x", "y"}), {}).has_value());
+}
+
+TEST(ProducedVariablesTest, EqualityWithOuterBoundVariable) {
+  auto p = ProducedVariables(F("x = y", {"x", "y"}), {"y"});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, S({"x"}));
+}
+
+TEST(ProducedVariablesTest, ConjunctionUnionsProducers) {
+  // Definition 1 cases 2 and 4.
+  auto p = ProducedVariables(F("p(x) & r(x, y) & ~q(y)", {"x", "y"}), {});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, S({"x", "y"}));
+}
+
+TEST(ProducedVariablesTest, DisjunctionNeedsMatchingBranches) {
+  // Definition 1 case 3: both branches must range the same variables.
+  auto same = ProducedVariables(F("p(x) | q(x)", {"x"}), {});
+  ASSERT_TRUE(same.has_value());
+  EXPECT_EQ(*same, S({"x"}));
+  // Mismatched branches (the paper's rejected F1 in §2.1):
+  EXPECT_FALSE(
+      ProducedVariables(F("r(x1) | s(x2)", {"x1", "x2"}), {}).has_value());
+}
+
+TEST(ProducedVariablesTest, ExistsProjects) {
+  // Definition 1 case 5: ∃yz p(x,y,z) ranges x.
+  auto p = ProducedVariables(
+      F("exists y z: p(x, y, z)", {"x"}), {});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, S({"x"}));
+}
+
+TEST(IsRangeForTest, PaperQ4Range) {
+  // §2.3: [professor(x) ∧ (member(x,cs) ∨ skill(x,math))] is a range for x
+  // in which the disjunction is a filter.
+  FormulaPtr r = F("professor(x) & (member(x, cs) | skill(x, math))", {"x"});
+  EXPECT_TRUE(IsRangeFor(r, S({"x"}), {}));
+}
+
+TEST(IsRangeForTest, FreeVariableOutsideProductionFails) {
+  FormulaPtr r = F("p(x) & q(y)", {"x", "y"});
+  EXPECT_TRUE(IsRangeFor(r, S({"x", "y"}), {}));
+  FormulaPtr bad = F("p(x) & ~q(y)", {"x", "y"});
+  EXPECT_FALSE(IsRangeFor(bad, S({"x", "y"}), {}));
+}
+
+TEST(SplitTest, ProducersBeforeDependentFilters) {
+  std::vector<FormulaPtr> conjuncts = {
+      F("~skill(x, db)", {"x"}),
+      F("member(x, z)", {"x", "z"}),
+  };
+  auto split = SplitProducersAndFilters(conjuncts, S({"x", "z"}), {});
+  ASSERT_TRUE(split.has_value());
+  ASSERT_EQ(split->ordered.size(), 2u);
+  // The producer must be placed first even though the filter came first.
+  EXPECT_EQ(split->ordered[0]->kind(), FormulaKind::kAtom);
+  EXPECT_TRUE(split->is_producer[0]);
+  EXPECT_FALSE(split->is_producer[1]);
+  EXPECT_EQ(split->produced, S({"x", "z"}));
+}
+
+TEST(SplitTest, UnsafeConjunctionFails) {
+  // No producer for y.
+  std::vector<FormulaPtr> conjuncts = {F("p(x)", {"x"}),
+                                       F("~q(y)", {"y"})};
+  EXPECT_FALSE(SplitProducersAndFilters(conjuncts, S({"x", "y"}), {})
+                   .has_value());
+}
+
+TEST(SplitTest, OuterVariablesCountAsBound) {
+  std::vector<FormulaPtr> conjuncts = {F("~q(y)", {"y"})};
+  auto split = SplitProducersAndFilters(conjuncts, {}, {"y"});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_FALSE(split->is_producer[0]);
+}
+
+TEST(SplitTest, ChainedProducers) {
+  // s(y,z) only becomes placeable after r(x,y) binds y... all producers
+  // here, but the order must respect the chain given required coverage.
+  std::vector<FormulaPtr> conjuncts = {F("s(y, z)", {"y", "z"}),
+                                       F("r(x, y)", {"x", "y"})};
+  auto split = SplitProducersAndFilters(conjuncts, S({"x", "y", "z"}), {});
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->produced, S({"x", "y", "z"}));
+}
+
+TEST(CheckRestrictedTest, AcceptsRestrictedForms) {
+  EXPECT_TRUE(CheckRestricted(F("exists x: p(x) & ~q(x)")).ok());
+  EXPECT_TRUE(CheckRestricted(F("forall x: p(x) -> q(x)")).ok());
+  EXPECT_TRUE(CheckRestricted(F("forall x: ~p(x)")).ok());
+  EXPECT_TRUE(
+      CheckRestricted(F("exists x: (p(x) | q(x)) & ~r(x, x)")).ok());
+}
+
+TEST(CheckRestrictedTest, RejectsUnrestrictedForms) {
+  // The paper's rejected F1 (§2.1): [r(x1) ∨ s(x2)] is not a range.
+  Status s = CheckRestricted(
+      F("exists x1 x2: (r(x1) | s(x2)) & ~p(x1, x2)"));
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+  // Pure negation has no range.
+  EXPECT_EQ(CheckRestricted(F("exists x: ~p(x)")).code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(CheckRestrictedTest, NestedQuantifiersChecked) {
+  EXPECT_TRUE(CheckRestricted(
+                  F("exists x: p(x) & (forall y: q(y) -> r(x, y))"))
+                  .ok());
+  EXPECT_EQ(CheckRestricted(
+                F("exists x: p(x) & (exists y: ~q(y))"))
+                .code(),
+            StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace bryql

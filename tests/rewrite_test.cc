@@ -1,0 +1,259 @@
+#include "rewrite/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "calculus/analysis.h"
+#include "calculus/parser.h"
+#include "calculus/range_analysis.h"
+
+namespace bryql {
+namespace {
+
+FormulaPtr F(const std::string& text,
+             const std::vector<std::string>& bound = {}) {
+  auto r = ParseFormula(text, bound);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? *r : nullptr;
+}
+
+FormulaPtr Norm(const std::string& text,
+                const std::vector<std::string>& targets = {}) {
+  auto r = Normalize(F(text, targets), {});
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? r->formula : nullptr;
+}
+
+TEST(RewriteRulesTest, Rule1DoubleNegation) {
+  EXPECT_EQ(Norm("~~p(a)")->ToString(), "p('a')");
+}
+
+TEST(RewriteRulesTest, Rules23DeMorgan) {
+  EXPECT_EQ(Norm("~(p(a) & q(b))")->ToString(), "~p('a') | ~q('b')");
+  EXPECT_EQ(Norm("~(p(a) | q(b))")->ToString(), "~p('a') & ~q('b')");
+}
+
+TEST(RewriteRulesTest, NegatedQuantificationsUntouched) {
+  // "Note that they do not transform negated quantifications."
+  FormulaPtr f = Norm("~(exists x: p(x))");
+  EXPECT_EQ(f->kind(), FormulaKind::kNot);
+  EXPECT_EQ(f->child()->kind(), FormulaKind::kExists);
+}
+
+TEST(RewriteRulesTest, Rule4ForallImplication) {
+  FormulaPtr f = Norm("forall x: p(x) -> q(x)");
+  EXPECT_EQ(f->ToString(), "~(exists x: p(x) & ~q(x))");
+}
+
+TEST(RewriteRulesTest, Rule5ForallNegatedRange) {
+  FormulaPtr f = Norm("forall x: ~p(x)");
+  EXPECT_EQ(f->ToString(), "~(exists x: p(x))");
+}
+
+TEST(RewriteRulesTest, GenericForallFallback) {
+  // ∀x (¬q(x) ∨ r(x)) — no explicit ⇒; handled via the generic rule plus
+  // De Morgan, landing on the same canonical form as the sugared version.
+  FormulaPtr a = Norm("forall x: ~q(x) | r(x)");
+  FormulaPtr b = Norm("forall x: q(x) -> r(x)");
+  EXPECT_TRUE(Formula::Equal(SortAC(a), SortAC(b)))
+      << a->ToString() << " vs " << b->ToString();
+}
+
+TEST(RewriteRulesTest, Rule6DropsUselessQuantifier) {
+  FormulaPtr f = Norm("exists x: p(a)");
+  EXPECT_EQ(f->ToString(), "p('a')");
+}
+
+TEST(RewriteRulesTest, Rule7DropsUselessVariables) {
+  FormulaPtr f = Norm("exists x y: p(x)");
+  EXPECT_EQ(f->ToString(), "exists x: p(x)");
+}
+
+TEST(RewriteRulesTest, Rules89MiniscopeQ1) {
+  // §2.2 Q1: ∃x student(x) ∧ ∀y (cs-lecture(y) ⇒ attends(x,y) ∧
+  // ¬enrolled(x,cs)). The paper presents Q2 (¬enrolled pulled out of the
+  // ∀y scope) as equivalent; strictly, Q1 also holds for an enrolled
+  // student when there are *no* cs-lectures, so the sound canonical form
+  // guards the escaped atom: (¬enrolled(x,cs) ∨ ¬∃y cs-lecture(y)).
+  // Either way, ¬enrolled is evaluated once per student, not once per
+  // (student, lecture) pair — the optimization §2.2 is after.
+  FormulaPtr q1 = F(
+      "exists x: student(x) & "
+      "(forall y: cs-lecture(y) -> attends(x, y) & ~enrolled(x, cs))");
+  auto norm = Normalize(q1, {});
+  ASSERT_TRUE(norm.ok());
+  EXPECT_TRUE(IsMiniscope(norm->formula)) << norm->formula->ToString();
+  FormulaPtr expected = F(
+      "exists x: student(x) & ~(exists y: cs-lecture(y) & ~attends(x, y)) & "
+      "(~enrolled(x, cs) | ~(exists y: cs-lecture(y)))");
+  EXPECT_TRUE(Formula::Equal(SortAC(norm->formula), SortAC(expected)))
+      << norm->formula->ToString();
+}
+
+TEST(RewriteRulesTest, Rules89MiniscopePlainConjunct) {
+  // The unconditional Rule 8/9 case: a conjunct without the quantified
+  // variable moves straight out.
+  FormulaPtr f = Norm("exists y: lecture(y, db) & ~enrolled(a, cs)");
+  EXPECT_EQ(f->ToString(),
+            "~enrolled('a', 'cs') & (exists y: lecture(y, 'db'))");
+}
+
+TEST(RewriteRulesTest, Rules1011DistributeWhenAtomEscapes) {
+  // §2.2 F1 → F4: ∃x p(x) ∧ (q(y) ∨ r(x)).
+  FormulaPtr f4 = Norm("exists x: p(x) & (q(y) | r(x))", {"y"});
+  EXPECT_EQ(f4->kind(), FormulaKind::kOr);
+  EXPECT_TRUE(IsMiniscope(f4)) << f4->ToString();
+  // Expect (q(y) & ∃x p(x)) | ∃x (p(x) & r(x)) up to ordering.
+  FormulaPtr expected = F(
+      "(q(y) & (exists x: p(x))) | (exists x: p(x) & r(x))", {"y"});
+  EXPECT_TRUE(Formula::Equal(SortAC(f4), SortAC(expected)))
+      << f4->ToString();
+}
+
+TEST(RewriteRulesTest, DisjunctiveFiltersKept) {
+  // §2.3 Q1: the filter (speaks french ∨ speaks german) must NOT be
+  // distributed — every disjunct's atoms mention x.
+  FormulaPtr q1 = Norm(
+      "exists x: ((student(x) & makes(x, phd)) | prof(x)) & "
+      "(speaks(x, french) | speaks(x, german))");
+  // The producer disjunction distributes (→ Q3), the filter stays.
+  EXPECT_EQ(q1->kind(), FormulaKind::kOr) << q1->ToString();
+  ASSERT_EQ(q1->children().size(), 2u);
+  for (const FormulaPtr& branch : q1->children()) {
+    ASSERT_EQ(branch->kind(), FormulaKind::kExists) << q1->ToString();
+    bool has_filter_disjunction = false;
+    for (const FormulaPtr& c : branch->child()->children()) {
+      if (c->kind() == FormulaKind::kOr) has_filter_disjunction = true;
+    }
+    EXPECT_TRUE(has_filter_disjunction) << q1->ToString();
+  }
+}
+
+TEST(RewriteRulesTest, RangeFilterDisjunctionKept) {
+  // §2.3 Q4: [professor(x) ∧ (member(x,cs) ∨ skill(x,math))] — the
+  // disjunction is a filter inside the range and must be kept.
+  FormulaPtr q4 = Norm(
+      "exists x: professor(x) & (member(x, cs) | skill(x, math)) & "
+      "speaks(x, french)");
+  EXPECT_EQ(q4->kind(), FormulaKind::kExists) << q4->ToString();
+  bool kept = false;
+  for (const FormulaPtr& c : q4->child()->children()) {
+    if (c->kind() == FormulaKind::kOr) kept = true;
+  }
+  EXPECT_TRUE(kept) << q4->ToString();
+}
+
+TEST(RewriteRulesTest, Rule14SplitsQuantifiedDisjunction) {
+  FormulaPtr f = Norm("exists x: p(x) | q(x)");
+  EXPECT_EQ(f->ToString(), "(exists x: p(x)) | (exists x: q(x))");
+}
+
+TEST(RewriteRulesTest, Rule14DropsIrrelevantVariables) {
+  FormulaPtr f = Norm("exists x y: r(x, y) | p(x)");
+  EXPECT_EQ(f->ToString(), "(exists x y: r(x, y)) | (exists x: p(x))");
+}
+
+TEST(RewriteRulesTest, IffExpands) {
+  FormulaPtr f = Norm("p(a) <-> q(b)");
+  EXPECT_EQ(f->kind(), FormulaKind::kAnd);
+}
+
+TEST(RewriteRulesTest, ImpliesOutsideForallBecomesOr) {
+  FormulaPtr f = Norm("p(a) -> q(b)");
+  EXPECT_EQ(f->ToString(), "~p('a') | q('b')");
+}
+
+TEST(RewriteRulesTest, NegatedComparisonFolds) {
+  FormulaPtr f = Norm("exists x: p(x) & ~(x = 3)");
+  EXPECT_EQ(f->ToString(), "exists x: p(x) & x != 3");
+}
+
+TEST(RewriteRulesTest, PaperSection22MiniscopeKeepsF5) {
+  // F5 is already canonical up to ∀-elimination; no distribution happens.
+  FormulaPtr f5 = Norm("exists x: p(x) & (forall y: ~q(y) | r(x, y))");
+  EXPECT_EQ(f5->kind(), FormulaKind::kExists);
+  EXPECT_TRUE(IsMiniscope(f5));
+  // The universal became ¬∃ inside the body.
+  bool has_neg_exists = false;
+  for (const FormulaPtr& c : f5->child()->children()) {
+    if (c->kind() == FormulaKind::kNot &&
+        c->child()->kind() == FormulaKind::kExists) {
+      has_neg_exists = true;
+    }
+  }
+  EXPECT_TRUE(has_neg_exists) << f5->ToString();
+}
+
+TEST(RewriteRulesTest, CanonicalFormIsRestricted) {
+  // After normalization the §1 running example passes Definition 2/3.
+  FormulaPtr f = Norm(
+      "exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)) & "
+      "(forall z1: student(z1) -> (exists z2: attends(z1, z2)))");
+  EXPECT_TRUE(CheckRestricted(f).ok()) << f->ToString();
+}
+
+TEST(RewriteRulesTest, TraceRecordsRules) {
+  auto r = Normalize(F("forall x: p(x) -> q(x)"), {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->steps(), 1u);
+  EXPECT_TRUE(r->rule_counts.count(RuleId::kForallImplication));
+}
+
+TEST(RewriteRulesTest, NormalizationIsIdempotent) {
+  for (const char* text :
+       {"exists x: p(x) & (q(y) | r(x))",
+        "forall x: p(x) -> (exists y: r(x, y) & ~s(y))",
+        "exists x: ((student(x) & makes(x, phd)) | prof(x)) & "
+        "(speaks(x, french) | speaks(x, german))"}) {
+    FormulaPtr once = Norm(text, {"y"});
+    std::set<std::string> outer = {"y"};
+    auto twice = Normalize(once, outer);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(twice->steps(), 0u) << text << " -> " << once->ToString();
+  }
+}
+
+TEST(RewriteOptionsTest, MiniscopeCanBeDisabled) {
+  FormulaPtr q1 = F(
+      "exists x: student(x) & "
+      "(forall y: cs-lecture(y) -> attends(x, y) & ~enrolled(x, cs))");
+  RewriteOptions no_mini;
+  no_mini.miniscope = false;
+  no_mini.distribute_filter_disjunctions = false;
+  auto r = Normalize(q1, {}, no_mini);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(IsMiniscope(r->formula)) << r->formula->ToString();
+}
+
+TEST(RewriteOptionsTest, ProducerDistributionCanBeDisabled) {
+  RewriteOptions keep;
+  keep.distribute_producer_disjunctions = false;
+  auto r = Normalize(F("exists x: p(x) | q(x)"), {}, keep);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->formula->kind(), FormulaKind::kExists);
+}
+
+TEST(RewriteEngineTest, FindApplicationsLeftmostOutermost) {
+  FormulaPtr f = F("~~p(a) & ~~q(b)");
+  std::vector<RuleApplication> apps = FindApplications(f);
+  ASSERT_GE(apps.size(), 2u);
+  EXPECT_EQ(apps[0].path, (std::vector<int>{0}));
+  EXPECT_EQ(apps[0].rule, RuleId::kDoubleNegation);
+}
+
+TEST(RewriteEngineTest, ApplyRuleAtPath) {
+  FormulaPtr f = F("~~p(a) & q(b)");
+  std::vector<RuleApplication> apps = FindApplications(f);
+  ASSERT_FALSE(apps.empty());
+  auto g = ApplyRule(f, apps[0]);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->ToString(), "p('a') & q('b')");
+}
+
+TEST(RewriteEngineTest, StalePathRejected) {
+  FormulaPtr f = F("p(a)");
+  RuleApplication bogus{RuleId::kDoubleNegation, {0, 0, 0}};
+  EXPECT_FALSE(ApplyRule(f, bogus).ok());
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,136 @@
+#include "algebra/simplifier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_processor.h"
+#include "exec/executor.h"
+#include "storage/builder.h"
+#include "workload/university.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  db.Put("p", UnaryInts({1, 2, 3, 4}));
+  db.Put("q", UnaryInts({2, 4}));
+  db.Put("r", *Relation::FromRows({Ints({1, 10}), Ints({2, 20})}));
+  return db;
+}
+
+ExprPtr Simplified(const Database& db, const ExprPtr& e) {
+  auto s = SimplifyPlan(e, db);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return s.ok() ? *s : e;
+}
+
+TEST(SimplifierTest, IdentityProjectionVanishes) {
+  Database db = MakeDb();
+  ExprPtr e = Expr::Project(Expr::Scan("r"), {0, 1});
+  EXPECT_EQ(Simplified(db, e)->kind(), ExprKind::kScan);
+}
+
+TEST(SimplifierTest, NonIdentityProjectionStays) {
+  Database db = MakeDb();
+  ExprPtr e = Expr::Project(Expr::Scan("r"), {1, 0});
+  EXPECT_EQ(Simplified(db, e)->kind(), ExprKind::kProject);
+}
+
+TEST(SimplifierTest, ProjectionsCompose) {
+  Database db = MakeDb();
+  ExprPtr e = Expr::Project(Expr::Project(Expr::Scan("r"), {1, 0}), {1});
+  ExprPtr s = Simplified(db, e);
+  EXPECT_EQ(s->kind(), ExprKind::kProject);
+  EXPECT_EQ(s->columns(), (std::vector<size_t>{0}));
+  EXPECT_EQ(s->child()->kind(), ExprKind::kScan);
+}
+
+TEST(SimplifierTest, TrueSelectionVanishes) {
+  Database db = MakeDb();
+  ExprPtr e = Expr::Select(Expr::Scan("p"), Predicate::True());
+  EXPECT_EQ(Simplified(db, e)->kind(), ExprKind::kScan);
+}
+
+TEST(SimplifierTest, FalseSelectionFoldsToEmpty) {
+  Database db = MakeDb();
+  ExprPtr e =
+      Expr::Select(Expr::Scan("p"), Predicate::Not(Predicate::True()));
+  ExprPtr s = Simplified(db, e);
+  EXPECT_EQ(s->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(s->literal().empty());
+}
+
+TEST(SimplifierTest, SelectionsMerge) {
+  Database db = MakeDb();
+  ExprPtr e = Expr::Select(
+      Expr::Select(Expr::Scan("p"),
+                   Predicate::ColVal(CompareOp::kGt, 0, Value::Int(1))),
+      Predicate::ColVal(CompareOp::kLt, 0, Value::Int(4)));
+  ExprPtr s = Simplified(db, e);
+  EXPECT_EQ(s->kind(), ExprKind::kSelect);
+  EXPECT_EQ(s->child()->kind(), ExprKind::kScan);
+}
+
+TEST(SimplifierTest, EmptyInputsFold) {
+  Database db = MakeDb();
+  ExprPtr empty = Expr::Literal(Relation(1));
+  EXPECT_EQ(Simplified(db, Expr::Join(Expr::Scan("p"), empty, {{0, 0}}))
+                ->kind(),
+            ExprKind::kLiteral);
+  EXPECT_EQ(Simplified(db, Expr::Union(Expr::Scan("p"), empty))->kind(),
+            ExprKind::kScan);
+  EXPECT_EQ(Simplified(db, Expr::AntiJoin(Expr::Scan("p"), empty, {{0, 0}}))
+                ->kind(),
+            ExprKind::kScan);
+  EXPECT_EQ(
+      Simplified(db, Expr::Difference(empty, Expr::Scan("p")))->kind(),
+      ExprKind::kLiteral);
+}
+
+TEST(SimplifierTest, CascadingFolds) {
+  Database db = MakeDb();
+  // σ_false over p, joined with q, projected: everything collapses.
+  ExprPtr e = Expr::Project(
+      Expr::Join(Expr::Select(Expr::Scan("p"),
+                              Predicate::Not(Predicate::True())),
+                 Expr::Scan("q"), {{0, 0}}),
+      {0});
+  ExprPtr s = Simplified(db, e);
+  EXPECT_EQ(s->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(s->literal().empty());
+}
+
+TEST(SimplifierTest, PreservesSemanticsOnPaperSuitePlans) {
+  UniversityConfig config;
+  config.students = 60;
+  config.lectures = 12;
+  Database db = MakeUniversity(config);
+  QueryProcessor qp(&db);
+  for (const NamedQuery& nq : PaperQuerySuite()) {
+    auto exec = qp.Explain(nq.text, Strategy::kBry);
+    ASSERT_TRUE(exec.ok()) << nq.name << ": " << exec.status();
+    auto simplified = SimplifyPlan(exec->plan, db);
+    ASSERT_TRUE(simplified.ok()) << nq.name;
+    EXPECT_LE((*simplified)->Size(), exec->plan->Size()) << nq.name;
+    Executor a(&db), b(&db);
+    if (nq.text[0] == '{') {
+      auto before = a.Evaluate(exec->plan);
+      auto after = b.Evaluate(*simplified);
+      ASSERT_TRUE(before.ok() && after.ok()) << nq.name;
+      EXPECT_EQ(*before, *after) << nq.name;
+    } else {
+      auto before = a.EvaluateBool(exec->plan);
+      auto after = b.EvaluateBool(*simplified);
+      ASSERT_TRUE(before.ok() && after.ok()) << nq.name;
+      EXPECT_EQ(*before, *after) << nq.name;
+    }
+  }
+}
+
+TEST(SimplifierTest, MalformedPlanRejected) {
+  Database db = MakeDb();
+  EXPECT_FALSE(SimplifyPlan(Expr::Scan("ghost"), db).ok());
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,236 @@
+// Unit tests of the Bry translator (§3): plan structure and semantics for
+// each translation shape, against hand-checked answers.
+
+#include "translate/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "rewrite/rewriter.h"
+#include "storage/builder.h"
+#include "translate/classical_translator.h"
+
+namespace bryql {
+namespace {
+
+Database PaperDb() {
+  Database db;
+  db.Put("member", StringPairs({{"ann", "cs"},
+                                {"bob", "cs"},
+                                {"cal", "math"},
+                                {"dee", "physics"}}));
+  db.Put("skill", StringPairs({{"ann", "db"}, {"cal", "db"}, {"bob", "ai"}}));
+  db.Put("student", UnaryStrings({"ann", "bob", "cal"}));
+  db.Put("lecture", StringPairs({{"l1", "db"}, {"l2", "db"}, {"l3", "ai"}}));
+  db.Put("attends", StringPairs({{"ann", "l1"},
+                                 {"ann", "l2"},
+                                 {"bob", "l1"},
+                                 {"cal", "l3"}}));
+  return db;
+}
+
+/// Normalizes, translates and evaluates an open query with the Bry method.
+Relation RunOpen(const Database& db, const std::string& text,
+                 TranslateOptions options = {}) {
+  auto query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status();
+  auto norm = NormalizeQuery(*query);
+  EXPECT_TRUE(norm.ok()) << norm.status();
+  Translator translator(&db, options);
+  auto plan = translator.TranslateOpen(Query{query->targets, norm->formula});
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  if (!plan.ok()) return Relation(0);
+  Executor exec(&db);
+  auto rel = exec.Evaluate(plan->expr);
+  EXPECT_TRUE(rel.ok()) << rel.status() << "\n" << plan->expr->ToString();
+  return rel.ok() ? *rel : Relation(0);
+}
+
+bool RunClosed(const Database& db, const std::string& text) {
+  auto query = ParseQuery(text);
+  EXPECT_TRUE(query.ok()) << query.status();
+  auto norm = NormalizeQuery(*query);
+  EXPECT_TRUE(norm.ok()) << norm.status();
+  Translator translator(&db);
+  auto plan = translator.TranslateClosed(norm->formula);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  if (!plan.ok()) return false;
+  Executor exec(&db);
+  auto value = exec.EvaluateBool(*plan);
+  EXPECT_TRUE(value.ok()) << value.status();
+  return value.ok() && *value;
+}
+
+TEST(TranslatorTest, Section31Q2ComplementJoin) {
+  // §3.1 Q2: member(x,z) ∧ ¬skill(x,db) — members without a db skill,
+  // keeping the department column.
+  Database db = PaperDb();
+  Relation r = RunOpen(db, "{ x, z | member(x, z) & ~skill(x, db) }");
+  EXPECT_EQ(r, StringPairs({{"bob", "cs"}, {"dee", "physics"}}));
+}
+
+TEST(TranslatorTest, Section31Q2PlanIsSingleAntiJoin) {
+  Database db = PaperDb();
+  auto query = ParseQuery("{ x, z | member(x, z) & ~skill(x, db) }");
+  auto norm = NormalizeQuery(*query);
+  Translator translator(&db);
+  auto plan = translator.TranslateOpen(Query{query->targets, norm->formula});
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string s = plan->expr->ToString();
+  // One complement-join over the member scan — no join + difference.
+  EXPECT_NE(s.find("ComplementJoin"), std::string::npos) << s;
+  EXPECT_EQ(s.find("Difference"), std::string::npos) << s;
+  EXPECT_EQ(s.find("\nJoin"), std::string::npos) << s;
+}
+
+TEST(TranslatorTest, Section31Q1Projected) {
+  Database db = PaperDb();
+  Relation r =
+      RunOpen(db, "{ x | (exists z: member(x, z)) & ~skill(x, db) }");
+  EXPECT_EQ(r, UnaryStrings({"bob", "dee"}));
+}
+
+TEST(TranslatorTest, UniversalViaDoubleComplementJoin) {
+  // Students attending all db lectures: only ann.
+  Database db = PaperDb();
+  Relation r = RunOpen(
+      db,
+      "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }");
+  EXPECT_EQ(r, UnaryStrings({"ann"}));
+}
+
+TEST(TranslatorTest, UniversalViaDivision) {
+  Database db = PaperDb();
+  TranslateOptions options;
+  options.universal = TranslateOptions::Universal::kDivision;
+  Relation r = RunOpen(
+      db,
+      "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }",
+      options);
+  EXPECT_EQ(r, UnaryStrings({"ann"}));
+}
+
+TEST(TranslatorTest, ClosedQueriesUseNonEmptiness) {
+  Database db = PaperDb();
+  EXPECT_TRUE(RunClosed(db, "exists x: student(x) & attends(x, l1)"));
+  EXPECT_FALSE(RunClosed(db, "exists x: student(x) & skill(x, networks)"));
+  EXPECT_TRUE(RunClosed(
+      db, "forall x: student(x) -> (exists y: attends(x, y))"));
+  EXPECT_FALSE(RunClosed(db, "forall x: student(x) -> attends(x, l1)"));
+}
+
+TEST(TranslatorTest, BooleanCombinationOfClosedSubqueries) {
+  // §3.2: conjunction of closed subqueries evaluates as a boolean
+  // combination of non-emptiness tests.
+  Database db = PaperDb();
+  EXPECT_TRUE(RunClosed(
+      db,
+      "(exists x: student(x) & (forall y: lecture(y, db) -> attends(x, y)))"
+      " & (forall z1: student(z1) -> (exists z2: attends(z1, z2)))"));
+}
+
+TEST(TranslatorTest, ConstantsAndRepeatedVariables) {
+  Database db;
+  db.Put("edge", StringPairs({{"a", "a"}, {"a", "b"}, {"b", "b"}}));
+  Relation loops = RunOpen(db, "{ x | edge(x, x) }");
+  EXPECT_EQ(loops, UnaryStrings({"a", "b"}));
+  Relation from_a = RunOpen(db, "{ y | edge(a, y) }");
+  EXPECT_EQ(from_a, UnaryStrings({"a", "b"}));
+}
+
+TEST(TranslatorTest, ComparisonFilters) {
+  Database db;
+  db.Put("num", UnaryInts({1, 2, 3, 4, 5}));
+  EXPECT_EQ(RunOpen(db, "{ x | num(x) & x > 3 }"), UnaryInts({4, 5}));
+  EXPECT_EQ(RunOpen(db, "{ x | num(x) & ~(x >= 2) }"), UnaryInts({1}));
+  EXPECT_EQ(RunOpen(db, "{ x | num(x) & 3 < x }"), UnaryInts({4, 5}));
+}
+
+TEST(TranslatorTest, EqualityProducer) {
+  Database db;
+  db.Put("num", UnaryInts({1, 2, 3}));
+  EXPECT_EQ(RunOpen(db, "{ x | num(x) & x = 2 }"), UnaryInts({2}));
+  // Alias producer: y bound to x's column.
+  EXPECT_EQ(RunOpen(db, "{ x, y | num(x) & y = x }").size(), 3u);
+}
+
+TEST(TranslatorTest, DisjunctiveRangeUnion) {
+  Database db = PaperDb();
+  Relation r =
+      RunOpen(db, "{ x | (student(x) | (exists z: member(x, z))) "
+                  "& ~skill(x, db) }");
+  EXPECT_EQ(r, UnaryStrings({"bob", "dee"}));
+}
+
+TEST(TranslatorTest, CorrelatedPositiveSubquery) {
+  // Case 2b shape: the inner range does not bind x.
+  Database db = PaperDb();
+  Relation r = RunOpen(
+      db, "{ x | student(x) & (exists y: lecture(y, db) & ~attends(x, y)) }");
+  EXPECT_EQ(r, UnaryStrings({"bob", "cal"}));
+}
+
+TEST(TranslatorTest, ClosedGroundAtom) {
+  Database db = PaperDb();
+  EXPECT_TRUE(RunClosed(db, "student(ann)"));
+  EXPECT_FALSE(RunClosed(db, "student(zoe)"));
+  EXPECT_TRUE(RunClosed(db, "student(ann) & ~student(zoe)"));
+}
+
+TEST(TranslatorTest, RequiresCanonicalInput) {
+  Database db = PaperDb();
+  Translator translator(&db);
+  auto raw = ParseQuery("forall x: student(x) -> attends(x, l1)");
+  ASSERT_TRUE(raw.ok());
+  // Without normalization the ∀ shape is rejected.
+  EXPECT_FALSE(translator.TranslateClosed(raw->formula).ok());
+}
+
+TEST(TranslatorTest, MissingRelationSurfacesNotFound) {
+  Database db;
+  Translator translator(&db);
+  auto query = ParseQuery("exists x: ghost(x)");
+  auto norm = NormalizeQuery(*query);
+  ASSERT_TRUE(norm.ok());
+  auto plan = translator.TranslateClosed(norm->formula);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TranslatorTest, AtomArityMismatchRejected) {
+  Database db = PaperDb();
+  Translator translator(&db);
+  auto query = ParseQuery("exists x: student(x, x)");
+  auto norm = NormalizeQuery(*query);
+  ASSERT_TRUE(norm.ok());
+  EXPECT_FALSE(translator.TranslateClosed(norm->formula).ok());
+}
+
+TEST(ClassicalTranslatorTest, BasicAgreement) {
+  Database db = PaperDb();
+  ClassicalTranslator classical(&db);
+  auto query = ParseQuery(
+      "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }");
+  ASSERT_TRUE(query.ok());
+  auto plan = classical.TranslateOpen(*query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  Executor exec(&db);
+  auto rel = exec.Evaluate(plan->expr);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  EXPECT_EQ(*rel, UnaryStrings({"ann"}));
+}
+
+TEST(ClassicalTranslatorTest, UsesProductOfRanges) {
+  Database db = PaperDb();
+  ClassicalTranslator classical(&db);
+  auto query = ParseQuery(
+      "exists x y: student(x) & lecture(y, db) & attends(x, y)");
+  ASSERT_TRUE(query.ok());
+  auto plan = classical.TranslateClosed(query->formula);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE((*plan)->ToString().find("Product"), std::string::npos)
+      << (*plan)->ToString();
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "storage/builder.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace bryql {
+namespace {
+
+TEST(TupleTest, ConcatAndProject) {
+  Tuple a = Ints({1, 2});
+  Tuple b = Ints({3});
+  Tuple c = a.Concat(b);
+  EXPECT_EQ(c.arity(), 3u);
+  EXPECT_EQ(c.at(2), Value::Int(3));
+  Tuple p = c.Project({2, 0, 0});
+  EXPECT_EQ(p, Ints({3, 1, 1}));
+}
+
+TEST(TupleTest, EqualityAndOrdering) {
+  EXPECT_EQ(Ints({1, 2}), Ints({1, 2}));
+  EXPECT_NE(Ints({1, 2}), Ints({2, 1}));
+  EXPECT_LT(Ints({1, 2}), Ints({1, 3}));
+  EXPECT_LT(Ints({1}), Ints({1, 0}));  // shorter first
+}
+
+TEST(TupleTest, HashConsistency) {
+  EXPECT_EQ(Ints({1, 2}).Hash(), Ints({1, 2}).Hash());
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(Strs({"a", "b"}).ToString(), "('a', 'b')");
+  EXPECT_EQ(Tuple{}.ToString(), "()");
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation r(1);
+  EXPECT_TRUE(r.Insert(Ints({1})));
+  EXPECT_FALSE(r.Insert(Ints({1})));  // duplicate collapses
+  EXPECT_TRUE(r.Insert(Ints({2})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Ints({1})));
+  EXPECT_FALSE(r.Contains(Ints({3})));
+}
+
+TEST(RelationTest, FromRowsRejectsMixedArity) {
+  auto bad = Relation::FromRows({Ints({1}), Ints({1, 2})});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, FromRowsDeduplicates) {
+  auto r = Relation::FromRows({Ints({1}), Ints({1}), Ints({2})});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(RelationTest, EqualityIsOrderInsensitive) {
+  auto a = Relation::FromRows({Ints({1}), Ints({2})});
+  auto b = Relation::FromRows({Ints({2}), Ints({1})});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RelationTest, InequalityBySizeAndContent) {
+  auto a = Relation::FromRows({Ints({1})});
+  auto b = Relation::FromRows({Ints({2})});
+  auto c = Relation::FromRows({Ints({1}), Ints({2})});
+  EXPECT_NE(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+TEST(RelationTest, ArityZeroEncodesBooleans) {
+  Relation fals(0);
+  Relation tru(0);
+  tru.Insert(Tuple{});
+  EXPECT_TRUE(fals.empty());
+  EXPECT_EQ(tru.size(), 1u);
+  EXPECT_FALSE(tru.Insert(Tuple{}));  // only one empty tuple exists
+}
+
+TEST(RelationTest, SortedRows) {
+  auto r = Relation::FromRows({Ints({3}), Ints({1}), Ints({2})});
+  std::vector<Tuple> sorted = r->SortedRows();
+  EXPECT_EQ(sorted.front(), Ints({1}));
+  EXPECT_EQ(sorted.back(), Ints({3}));
+}
+
+TEST(BuilderTest, Helpers) {
+  Relation u = UnaryStrings({"a", "b", "a"});
+  EXPECT_EQ(u.size(), 2u);
+  Relation p = StringPairs({{"a", "x"}, {"b", "y"}});
+  EXPECT_EQ(p.arity(), 2u);
+  EXPECT_TRUE(p.Contains(Strs({"b", "y"})));
+  EXPECT_EQ(UnaryInts({1, 2, 3}).size(), 3u);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,84 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace bryql {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value::Null().kind(), ValueKind::kNull);
+  EXPECT_EQ(Value::Mark().kind(), ValueKind::kMark);
+  EXPECT_EQ(Value::Int(7).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value::Double(1.5).kind(), ValueKind::kDouble);
+  EXPECT_EQ(Value::String("db").kind(), ValueKind::kString);
+  EXPECT_EQ(Value::Int(7).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.5).AsDouble(), 1.5);
+  EXPECT_EQ(Value::String("db").AsString(), "db");
+}
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_mark());
+}
+
+TEST(ValueTest, NullAndMarkAreDistinctSingletons) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Mark(), Value::Mark());
+  EXPECT_NE(Value::Null(), Value::Mark());
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_NE(Value::Mark(), Value::String(""));
+}
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::String("a"), Value::String("b"));
+}
+
+TEST(ValueTest, NumericCrossKindComparison) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+  EXPECT_GT(Value::Double(3.5), Value::Int(3));
+}
+
+TEST(ValueTest, CrossKindNeverEqualForNonNumerics) {
+  EXPECT_NE(Value::String("2"), Value::Int(2));
+  EXPECT_NE(Value::Null(), Value::String(""));
+}
+
+TEST(ValueTest, TotalOrderIsStrictWeak) {
+  std::set<Value> ordered = {Value::Null(), Value::Mark(), Value::Int(1),
+                             Value::Int(2), Value::Double(1.5),
+                             Value::String("a")};
+  EXPECT_EQ(ordered.size(), 6u);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(2));
+  EXPECT_TRUE(set.count(Value::Double(2.0)));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "∅");
+  EXPECT_EQ(Value::Mark().ToString(), "⊥");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::String("db").ToString(), "'db'");
+}
+
+TEST(ValueTest, ComparisonOperators) {
+  EXPECT_LE(Value::Int(1), Value::Int(1));
+  EXPECT_GE(Value::Int(1), Value::Int(1));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_GT(Value::String("b"), Value::String("a"));
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,191 @@
+#include "calculus/views.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_processor.h"
+#include "storage/builder.h"
+
+namespace bryql {
+namespace {
+
+Database MakeDb() {
+  Database db;
+  db.Put("student", UnaryStrings({"ann", "bob", "cal"}));
+  db.Put("makes", StringPairs({{"ann", "phd"}, {"cal", "phd"}}));
+  db.Put("lecture", StringPairs({{"l1", "db"}, {"l2", "db"}, {"l3", "ai"}}));
+  db.Put("attends", StringPairs({{"ann", "l1"},
+                                 {"ann", "l2"},
+                                 {"bob", "l1"},
+                                 {"cal", "l3"}}));
+  return db;
+}
+
+TEST(ViewSetTest, DefineAndArity) {
+  ViewSet views;
+  ASSERT_TRUE(views.DefineFromText(
+                       "phd-student", "{ x | student(x) & makes(x, phd) }")
+                  .ok());
+  EXPECT_TRUE(views.Has("phd-student"));
+  EXPECT_EQ(*views.ArityOf("phd-student"), 1u);
+  EXPECT_FALSE(views.ArityOf("nope").ok());
+}
+
+TEST(ViewSetTest, RejectsClosedDefinition) {
+  ViewSet views;
+  auto q = ParseQuery("exists x: student(x)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(views.Define("v", *q).ok());
+}
+
+TEST(ViewSetTest, RejectsExtraFreeVariables) {
+  ViewSet views;
+  // y occurs free but is not a target.
+  auto f = ParseFormula("attends(x, y)", {"x", "y"});
+  ASSERT_TRUE(f.ok());
+  Query q{{"x"}, *f};
+  EXPECT_FALSE(views.Define("v", q).ok());
+}
+
+TEST(ViewSetTest, ExpandSimpleAtom) {
+  ViewSet views;
+  ASSERT_TRUE(views.DefineFromText(
+                       "phd-student", "{ x | student(x) & makes(x, phd) }")
+                  .ok());
+  auto f = ParseFormula("exists y: phd-student(y)");
+  ASSERT_TRUE(f.ok());
+  auto expanded = views.Expand(*f);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  EXPECT_EQ((*expanded)->ToString(),
+            "exists y: student(y) & makes(y, 'phd')");
+}
+
+TEST(ViewSetTest, ExpandWithConstantsAndRenaming) {
+  ViewSet views;
+  ASSERT_TRUE(
+      views
+          .DefineFromText("db-attender",
+                          "{ x | exists y: lecture(y, db) & attends(x, y) }")
+          .ok());
+  // The caller reuses the name y — the view's bound y must be freshened.
+  auto f = ParseFormula("exists y: student(y) & db-attender(y)");
+  ASSERT_TRUE(f.ok());
+  auto expanded = views.Expand(*f);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  std::set<std::string> all = (*expanded)->AllVariables();
+  EXPECT_GE(all.size(), 2u);  // y plus a freshened y$N
+  // Semantics check below via the processor.
+}
+
+TEST(ViewSetTest, ArityMismatchRejected) {
+  ViewSet views;
+  ASSERT_TRUE(views.DefineFromText("v", "{ x | student(x) }").ok());
+  auto f = ParseFormula("exists a b: v(a, b)");
+  ASSERT_TRUE(f.ok());
+  auto expanded = views.Expand(*f);
+  EXPECT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ViewSetTest, NestedViews) {
+  ViewSet views;
+  ASSERT_TRUE(views.DefineFromText(
+                       "phd-student", "{ x | student(x) & makes(x, phd) }")
+                  .ok());
+  ASSERT_TRUE(views
+                  .DefineFromText(
+                      "busy-phd",
+                      "{ x | phd-student(x) & (exists y: attends(x, y)) }")
+                  .ok());
+  auto f = ParseFormula("exists z: busy-phd(z)");
+  ASSERT_TRUE(f.ok());
+  auto expanded = views.Expand(*f);
+  ASSERT_TRUE(expanded.ok()) << expanded.status();
+  // Fully expanded: no view names remain.
+  EXPECT_EQ((*expanded)->ToString().find("busy-phd"), std::string::npos);
+  EXPECT_EQ((*expanded)->ToString().find("phd-student"), std::string::npos);
+}
+
+TEST(ViewSetTest, CyclicViewsRejected) {
+  ViewSet views;
+  auto a = ParseQuery("{ x | b(x) }");
+  auto b = ParseQuery("{ x | a(x) }");
+  ASSERT_TRUE(views.Define("a", *a).ok());
+  ASSERT_TRUE(views.Define("b", *b).ok());
+  auto f = ParseFormula("exists x: a(x)");
+  auto expanded = views.Expand(*f);
+  EXPECT_FALSE(expanded.ok());
+  EXPECT_EQ(expanded.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ViewSetTest, SelfReferenceRejected) {
+  ViewSet views;
+  auto v = ParseQuery("{ x | v(x) }");
+  ASSERT_TRUE(views.Define("v", *v).ok());
+  auto f = ParseFormula("exists x: v(x)");
+  EXPECT_FALSE(views.Expand(*f).ok());
+}
+
+TEST(ViewProcessorTest, EndToEndThroughProcessor) {
+  Database db = MakeDb();
+  ViewSet views;
+  ASSERT_TRUE(views.DefineFromText(
+                       "phd-student", "{ x | student(x) & makes(x, phd) }")
+                  .ok());
+  QueryProcessor qp(&db);
+  qp.SetViews(&views);
+  auto r = qp.Run("{ x | phd-student(x) & (exists y: attends(x, y)) }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->answer.relation, UnaryStrings({"ann", "cal"}));
+}
+
+TEST(ViewProcessorTest, ViewAsQuantifierRange) {
+  // A view used as the range of a universal quantification.
+  Database db = MakeDb();
+  ViewSet views;
+  ASSERT_TRUE(
+      views.DefineFromText("db-lecture", "{ y | lecture(y, db) }").ok());
+  QueryProcessor qp(&db);
+  qp.SetViews(&views);
+  auto r =
+      qp.Run("{ x | student(x) & (forall y: db-lecture(y) -> attends(x, y)) }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->answer.relation, UnaryStrings({"ann"}));
+}
+
+TEST(ViewProcessorTest, NegatedViewFilter) {
+  Database db = MakeDb();
+  ViewSet views;
+  ASSERT_TRUE(views.DefineFromText(
+                       "phd-student", "{ x | student(x) & makes(x, phd) }")
+                  .ok());
+  QueryProcessor qp(&db);
+  qp.SetViews(&views);
+  auto r = qp.Run("{ x | student(x) & ~phd-student(x) }");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->answer.relation, UnaryStrings({"bob"}));
+}
+
+TEST(ViewProcessorTest, ViewsAgreeAcrossStrategies) {
+  Database db = MakeDb();
+  ViewSet views;
+  ASSERT_TRUE(
+      views.DefineFromText("db-lecture", "{ y | lecture(y, db) }").ok());
+  ASSERT_TRUE(views.DefineFromText(
+                       "phd-student", "{ x | student(x) & makes(x, phd) }")
+                  .ok());
+  QueryProcessor qp(&db);
+  qp.SetViews(&views);
+  const char* text =
+      "{ x | phd-student(x) & (forall y: db-lecture(y) -> attends(x, y)) }";
+  auto reference = qp.Run(text, Strategy::kNestedLoop);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (Strategy s : {Strategy::kBry, Strategy::kClassical}) {
+    auto got = qp.Run(text, s);
+    ASSERT_TRUE(got.ok()) << StrategyName(s) << ": " << got.status();
+    EXPECT_EQ(got->answer.relation, reference->answer.relation)
+        << StrategyName(s);
+  }
+}
+
+}  // namespace
+}  // namespace bryql
