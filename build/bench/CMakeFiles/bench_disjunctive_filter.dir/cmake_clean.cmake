@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disjunctive_filter.dir/bench_disjunctive_filter.cc.o"
+  "CMakeFiles/bench_disjunctive_filter.dir/bench_disjunctive_filter.cc.o.d"
+  "bench_disjunctive_filter"
+  "bench_disjunctive_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disjunctive_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_division_avoidance.dir/bench_division_avoidance.cc.o"
+  "CMakeFiles/bench_division_avoidance.dir/bench_division_avoidance.cc.o.d"
+  "bench_division_avoidance"
+  "bench_division_avoidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_division_avoidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_division_avoidance.
+# This may be replaced when dependencies are built.

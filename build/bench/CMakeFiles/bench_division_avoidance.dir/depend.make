@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_division_avoidance.
+# This may be replaced when dependencies are built.

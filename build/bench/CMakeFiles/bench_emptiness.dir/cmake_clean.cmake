@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emptiness.dir/bench_emptiness.cc.o"
+  "CMakeFiles/bench_emptiness.dir/bench_emptiness.cc.o.d"
+  "bench_emptiness"
+  "bench_emptiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emptiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

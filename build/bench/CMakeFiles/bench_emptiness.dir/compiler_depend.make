@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_emptiness.
+# This may be replaced when dependencies are built.

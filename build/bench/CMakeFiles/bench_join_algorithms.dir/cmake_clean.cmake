@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_join_algorithms.dir/bench_join_algorithms.cc.o"
+  "CMakeFiles/bench_join_algorithms.dir/bench_join_algorithms.cc.o.d"
+  "bench_join_algorithms"
+  "bench_join_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_join_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

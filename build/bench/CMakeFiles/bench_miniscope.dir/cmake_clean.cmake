@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_miniscope.dir/bench_miniscope.cc.o"
+  "CMakeFiles/bench_miniscope.dir/bench_miniscope.cc.o.d"
+  "bench_miniscope"
+  "bench_miniscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_miniscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

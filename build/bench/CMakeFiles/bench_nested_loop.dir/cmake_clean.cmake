@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_loop.dir/bench_nested_loop.cc.o"
+  "CMakeFiles/bench_nested_loop.dir/bench_nested_loop.cc.o.d"
+  "bench_nested_loop"
+  "bench_nested_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

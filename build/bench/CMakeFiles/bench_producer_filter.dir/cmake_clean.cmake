@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_producer_filter.dir/bench_producer_filter.cc.o"
+  "CMakeFiles/bench_producer_filter.dir/bench_producer_filter.cc.o.d"
+  "bench_producer_filter"
+  "bench_producer_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_producer_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

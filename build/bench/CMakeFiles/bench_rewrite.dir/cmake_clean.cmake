@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rewrite.dir/bench_rewrite.cc.o"
+  "CMakeFiles/bench_rewrite.dir/bench_rewrite.cc.o.d"
+  "bench_rewrite"
+  "bench_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integrity_constraints.dir/integrity_constraints.cpp.o"
+  "CMakeFiles/integrity_constraints.dir/integrity_constraints.cpp.o.d"
+  "integrity_constraints"
+  "integrity_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integrity_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

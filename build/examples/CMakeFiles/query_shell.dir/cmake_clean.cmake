@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_shell.dir/query_shell.cpp.o"
+  "CMakeFiles/query_shell.dir/query_shell.cpp.o.d"
+  "query_shell"
+  "query_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/university_queries.dir/university_queries.cpp.o"
+  "CMakeFiles/university_queries.dir/university_queries.cpp.o.d"
+  "university_queries"
+  "university_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/university_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

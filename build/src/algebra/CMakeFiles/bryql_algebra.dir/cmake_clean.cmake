@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_algebra.dir/cost_model.cc.o"
+  "CMakeFiles/bryql_algebra.dir/cost_model.cc.o.d"
+  "CMakeFiles/bryql_algebra.dir/expr.cc.o"
+  "CMakeFiles/bryql_algebra.dir/expr.cc.o.d"
+  "CMakeFiles/bryql_algebra.dir/predicate.cc.o"
+  "CMakeFiles/bryql_algebra.dir/predicate.cc.o.d"
+  "CMakeFiles/bryql_algebra.dir/simplifier.cc.o"
+  "CMakeFiles/bryql_algebra.dir/simplifier.cc.o.d"
+  "libbryql_algebra.a"
+  "libbryql_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

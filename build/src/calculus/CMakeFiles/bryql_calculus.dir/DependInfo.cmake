@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/calculus/analysis.cc" "src/calculus/CMakeFiles/bryql_calculus.dir/analysis.cc.o" "gcc" "src/calculus/CMakeFiles/bryql_calculus.dir/analysis.cc.o.d"
+  "/root/repo/src/calculus/formula.cc" "src/calculus/CMakeFiles/bryql_calculus.dir/formula.cc.o" "gcc" "src/calculus/CMakeFiles/bryql_calculus.dir/formula.cc.o.d"
+  "/root/repo/src/calculus/parser.cc" "src/calculus/CMakeFiles/bryql_calculus.dir/parser.cc.o" "gcc" "src/calculus/CMakeFiles/bryql_calculus.dir/parser.cc.o.d"
+  "/root/repo/src/calculus/range_analysis.cc" "src/calculus/CMakeFiles/bryql_calculus.dir/range_analysis.cc.o" "gcc" "src/calculus/CMakeFiles/bryql_calculus.dir/range_analysis.cc.o.d"
+  "/root/repo/src/calculus/views.cc" "src/calculus/CMakeFiles/bryql_calculus.dir/views.cc.o" "gcc" "src/calculus/CMakeFiles/bryql_calculus.dir/views.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bryql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

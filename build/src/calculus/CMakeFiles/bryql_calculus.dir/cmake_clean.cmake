@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_calculus.dir/analysis.cc.o"
+  "CMakeFiles/bryql_calculus.dir/analysis.cc.o.d"
+  "CMakeFiles/bryql_calculus.dir/formula.cc.o"
+  "CMakeFiles/bryql_calculus.dir/formula.cc.o.d"
+  "CMakeFiles/bryql_calculus.dir/parser.cc.o"
+  "CMakeFiles/bryql_calculus.dir/parser.cc.o.d"
+  "CMakeFiles/bryql_calculus.dir/range_analysis.cc.o"
+  "CMakeFiles/bryql_calculus.dir/range_analysis.cc.o.d"
+  "CMakeFiles/bryql_calculus.dir/views.cc.o"
+  "CMakeFiles/bryql_calculus.dir/views.cc.o.d"
+  "libbryql_calculus.a"
+  "libbryql_calculus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_calculus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_common.dir/status.cc.o"
+  "CMakeFiles/bryql_common.dir/status.cc.o.d"
+  "CMakeFiles/bryql_common.dir/str_util.cc.o"
+  "CMakeFiles/bryql_common.dir/str_util.cc.o.d"
+  "CMakeFiles/bryql_common.dir/value.cc.o"
+  "CMakeFiles/bryql_common.dir/value.cc.o.d"
+  "libbryql_common.a"
+  "libbryql_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

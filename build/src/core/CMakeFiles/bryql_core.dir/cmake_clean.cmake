@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_core.dir/query_processor.cc.o"
+  "CMakeFiles/bryql_core.dir/query_processor.cc.o.d"
+  "libbryql_core.a"
+  "libbryql_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

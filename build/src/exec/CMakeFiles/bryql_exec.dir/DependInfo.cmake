@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/bryql_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/bryql_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/sort_merge.cc" "src/exec/CMakeFiles/bryql_exec.dir/sort_merge.cc.o" "gcc" "src/exec/CMakeFiles/bryql_exec.dir/sort_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/bryql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bryql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/bryql_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bryql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_exec.dir/executor.cc.o"
+  "CMakeFiles/bryql_exec.dir/executor.cc.o.d"
+  "CMakeFiles/bryql_exec.dir/sort_merge.cc.o"
+  "CMakeFiles/bryql_exec.dir/sort_merge.cc.o.d"
+  "libbryql_exec.a"
+  "libbryql_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_nestedloop.dir/nested_loop.cc.o"
+  "CMakeFiles/bryql_nestedloop.dir/nested_loop.cc.o.d"
+  "libbryql_nestedloop.a"
+  "libbryql_nestedloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_nestedloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

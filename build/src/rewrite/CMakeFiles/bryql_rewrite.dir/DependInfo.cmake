@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rewrite/domain_closure.cc" "src/rewrite/CMakeFiles/bryql_rewrite.dir/domain_closure.cc.o" "gcc" "src/rewrite/CMakeFiles/bryql_rewrite.dir/domain_closure.cc.o.d"
+  "/root/repo/src/rewrite/rewriter.cc" "src/rewrite/CMakeFiles/bryql_rewrite.dir/rewriter.cc.o" "gcc" "src/rewrite/CMakeFiles/bryql_rewrite.dir/rewriter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/calculus/CMakeFiles/bryql_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bryql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

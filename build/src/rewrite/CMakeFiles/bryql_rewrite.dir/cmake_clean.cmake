@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_rewrite.dir/domain_closure.cc.o"
+  "CMakeFiles/bryql_rewrite.dir/domain_closure.cc.o.d"
+  "CMakeFiles/bryql_rewrite.dir/rewriter.cc.o"
+  "CMakeFiles/bryql_rewrite.dir/rewriter.cc.o.d"
+  "libbryql_rewrite.a"
+  "libbryql_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_storage.dir/builder.cc.o"
+  "CMakeFiles/bryql_storage.dir/builder.cc.o.d"
+  "CMakeFiles/bryql_storage.dir/csv.cc.o"
+  "CMakeFiles/bryql_storage.dir/csv.cc.o.d"
+  "CMakeFiles/bryql_storage.dir/database.cc.o"
+  "CMakeFiles/bryql_storage.dir/database.cc.o.d"
+  "CMakeFiles/bryql_storage.dir/relation.cc.o"
+  "CMakeFiles/bryql_storage.dir/relation.cc.o.d"
+  "CMakeFiles/bryql_storage.dir/tuple.cc.o"
+  "CMakeFiles/bryql_storage.dir/tuple.cc.o.d"
+  "libbryql_storage.a"
+  "libbryql_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

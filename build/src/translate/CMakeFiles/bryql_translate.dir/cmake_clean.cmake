@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_translate.dir/classical_translator.cc.o"
+  "CMakeFiles/bryql_translate.dir/classical_translator.cc.o.d"
+  "CMakeFiles/bryql_translate.dir/translator.cc.o"
+  "CMakeFiles/bryql_translate.dir/translator.cc.o.d"
+  "libbryql_translate.a"
+  "libbryql_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

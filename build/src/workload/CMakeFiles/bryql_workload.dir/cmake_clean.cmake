@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bryql_workload.dir/university.cc.o"
+  "CMakeFiles/bryql_workload.dir/university.cc.o.d"
+  "libbryql_workload.a"
+  "libbryql_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bryql_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_property_test.dir/algebra_property_test.cc.o"
+  "CMakeFiles/algebra_property_test.dir/algebra_property_test.cc.o.d"
+  "algebra_property_test"
+  "algebra_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

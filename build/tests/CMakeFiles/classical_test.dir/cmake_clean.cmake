@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_test.dir/classical_test.cc.o"
+  "CMakeFiles/classical_test.dir/classical_test.cc.o.d"
+  "classical_test"
+  "classical_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_csv_test.dir/database_csv_test.cc.o"
+  "CMakeFiles/database_csv_test.dir/database_csv_test.cc.o.d"
+  "database_csv_test"
+  "database_csv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

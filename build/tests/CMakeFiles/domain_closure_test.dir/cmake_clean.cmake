@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_closure_test.dir/domain_closure_test.cc.o"
+  "CMakeFiles/domain_closure_test.dir/domain_closure_test.cc.o.d"
+  "domain_closure_test"
+  "domain_closure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

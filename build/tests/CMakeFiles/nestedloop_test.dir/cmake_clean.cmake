@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nestedloop_test.dir/nestedloop_test.cc.o"
+  "CMakeFiles/nestedloop_test.dir/nestedloop_test.cc.o.d"
+  "nestedloop_test"
+  "nestedloop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nestedloop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

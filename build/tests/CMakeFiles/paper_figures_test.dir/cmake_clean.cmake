@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_figures_test.dir/paper_figures_test.cc.o"
+  "CMakeFiles/paper_figures_test.dir/paper_figures_test.cc.o.d"
+  "paper_figures_test"
+  "paper_figures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

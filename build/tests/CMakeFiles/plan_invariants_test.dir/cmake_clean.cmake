@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_invariants_test.dir/plan_invariants_test.cc.o"
+  "CMakeFiles/plan_invariants_test.dir/plan_invariants_test.cc.o.d"
+  "plan_invariants_test"
+  "plan_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposition4_test.dir/proposition4_test.cc.o"
+  "CMakeFiles/proposition4_test.dir/proposition4_test.cc.o.d"
+  "proposition4_test"
+  "proposition4_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposition4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

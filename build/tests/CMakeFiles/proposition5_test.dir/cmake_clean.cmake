@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposition5_test.dir/proposition5_test.cc.o"
+  "CMakeFiles/proposition5_test.dir/proposition5_test.cc.o.d"
+  "proposition5_test"
+  "proposition5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposition5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

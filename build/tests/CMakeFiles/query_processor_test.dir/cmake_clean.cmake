@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_processor_test.dir/query_processor_test.cc.o"
+  "CMakeFiles/query_processor_test.dir/query_processor_test.cc.o.d"
+  "query_processor_test"
+  "query_processor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_processor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/range_analysis_test.cc" "tests/CMakeFiles/range_analysis_test.dir/range_analysis_test.cc.o" "gcc" "tests/CMakeFiles/range_analysis_test.dir/range_analysis_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bryql_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bryql_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/bryql_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/nestedloop/CMakeFiles/bryql_nestedloop.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewrite/CMakeFiles/bryql_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/bryql_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/bryql_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/calculus/CMakeFiles/bryql_calculus.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/bryql_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bryql_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

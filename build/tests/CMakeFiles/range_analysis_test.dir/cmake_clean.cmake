@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_analysis_test.dir/range_analysis_test.cc.o"
+  "CMakeFiles/range_analysis_test.dir/range_analysis_test.cc.o.d"
+  "range_analysis_test"
+  "range_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewrite_property_test.dir/rewrite_property_test.cc.o"
+  "CMakeFiles/rewrite_property_test.dir/rewrite_property_test.cc.o.d"
+  "rewrite_property_test"
+  "rewrite_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewrite_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

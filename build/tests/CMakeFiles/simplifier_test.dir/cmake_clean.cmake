@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplifier_test.dir/simplifier_test.cc.o"
+  "CMakeFiles/simplifier_test.dir/simplifier_test.cc.o.d"
+  "simplifier_test"
+  "simplifier_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_relation_test.dir/tuple_relation_test.cc.o"
+  "CMakeFiles/tuple_relation_test.dir/tuple_relation_test.cc.o.d"
+  "tuple_relation_test"
+  "tuple_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
