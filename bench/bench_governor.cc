@@ -1,0 +1,125 @@
+// Resource-governor overhead: the same end-to-end queries ungoverned
+// (QueryOptions::Unlimited — admission checks still compiled in but with
+// budgets at SIZE_MAX and no deadline) versus governed with generous
+// finite budgets and a deadline, so every AdmitScan/AdmitMaterialize/Tick
+// does real compare-and-poll work. The target is <2% overhead on the
+// governed configuration (EXPERIMENTS.md, governor-overhead note): the
+// hot path is a counter bump and compare, with the clock read amortized
+// over kCheckInterval admissions.
+
+#include "bench/bench_util.h"
+
+namespace bryql {
+namespace {
+
+struct Workload {
+  const char* name;
+  const char* text;
+};
+
+// One scan-heavy, one join/materialize-heavy, one quantifier-heavy query,
+// so overhead shows up whichever admission dominates.
+const Workload kWorkloads[] = {
+    {"select-project", "{ x | student(x) & makes(x, phd) }"},
+    {"join-materialize", "{ x, z | member(x, z) & ~skill(x, db) }"},
+    {"universal",
+     "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }"},
+};
+
+Database MakeDb(size_t students) {
+  UniversityConfig config;
+  config.students = students;
+  config.professors = students / 8;
+  config.lectures = 48;
+  config.seed = 31;
+  return MakeUniversity(config);
+}
+
+QueryOptions GovernedOptions() {
+  QueryOptions options;  // default structural guards stay on
+  options.deadline = std::chrono::minutes(10);
+  options.max_scanned_tuples = 1'000'000'000;
+  options.max_materialized_tuples = 1'000'000'000;
+  return options;
+}
+
+void RunCase(benchmark::State& state, const QueryOptions& options,
+             const char* label) {
+  const Workload& w = kWorkloads[state.range(1)];
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  QueryProcessor qp(&db);
+  Execution exec;
+  for (auto _ : state) {
+    auto result = qp.Run(w.text, Strategy::kBry, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    exec = std::move(*result);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  state.SetLabel(std::string(w.name) + " [" + label + "]");
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Governor_Off(benchmark::State& state) {
+  RunCase(state, QueryOptions::Unlimited(), "ungoverned");
+}
+
+void BM_Governor_On(benchmark::State& state) {
+  RunCase(state, GovernedOptions(), "governed");
+}
+
+// The Figure 1 interpreter has the highest admission density (one
+// AdmitScan per row of every loop level), so it bounds the overhead from
+// above.
+void RunNestedLoopCase(benchmark::State& state, const QueryOptions& options,
+                       const char* label) {
+  const Workload& w = kWorkloads[state.range(1)];
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  QueryProcessor qp(&db);
+  Execution exec;
+  for (auto _ : state) {
+    auto result = qp.Run(w.text, Strategy::kNestedLoop, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    exec = std::move(*result);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  state.SetLabel(std::string(w.name) + " [" + label + "]");
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+void BM_Governor_NestedLoop_Off(benchmark::State& state) {
+  RunNestedLoopCase(state, QueryOptions::Unlimited(), "ungoverned");
+}
+
+void BM_Governor_NestedLoop_On(benchmark::State& state) {
+  RunNestedLoopCase(state, GovernedOptions(), "governed");
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (long scale : {500L, 2000L, 8000L}) {
+    for (long w = 0; w < 3; ++w) b->Args({scale, w});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+void SmallArgs(benchmark::internal::Benchmark* b) {
+  for (long scale : {500L, 2000L}) {
+    for (long w = 0; w < 3; ++w) b->Args({scale, w});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Governor_Off)->Apply(Args);
+BENCHMARK(BM_Governor_On)->Apply(Args);
+BENCHMARK(BM_Governor_NestedLoop_Off)->Apply(SmallArgs);
+BENCHMARK(BM_Governor_NestedLoop_On)->Apply(SmallArgs);
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

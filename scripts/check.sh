@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice:
+#   1. the plain release configuration (what CI and benchmarks use), and
+#   2. an ASan+UBSan configuration with failpoints compiled in, so the
+#      fault-injection stress tests actually run and every injected
+#      failure path is checked for leaks and UB.
+#
+# Usage: scripts/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/2] plain build + tests =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [2/2] sanitized build (address;undefined) + failpoints + tests =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBRYQL_SANITIZE="address;undefined" \
+  -DBRYQL_FAILPOINTS=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "All checks passed."

@@ -406,4 +406,18 @@ size_t Expr::Size() const {
   return n;
 }
 
+size_t Expr::Depth() const {
+  size_t max_depth = 0;
+  std::vector<std::pair<const Expr*, size_t>> stack{{this, 1}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (depth > max_depth) max_depth = depth;
+    for (const ExprPtr& c : node->children_) {
+      stack.push_back({c.get(), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
 }  // namespace bryql

@@ -128,6 +128,12 @@ class Expr {
   /// Number of operator nodes.
   size_t Size() const;
 
+  /// Nesting depth of the plan: 1 for a leaf, 1 + max child depth
+  /// otherwise. Iterative (explicit stack), so callers can bound the
+  /// depth of untrusted plans before any recursive walk (Arity,
+  /// iterator construction) touches them.
+  size_t Depth() const;
+
  private:
   explicit Expr(ExprKind kind) : kind_(kind), literal_(0) {}
 

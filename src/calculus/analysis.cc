@@ -216,4 +216,18 @@ bool IsMiniscope(const FormulaPtr& f) {
   }
 }
 
+size_t FormulaDepth(const FormulaPtr& f) {
+  size_t max_depth = 0;
+  std::vector<std::pair<const Formula*, size_t>> stack{{f.get(), 1}};
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (depth > max_depth) max_depth = depth;
+    for (const FormulaPtr& c : node->children()) {
+      stack.push_back({c.get(), depth + 1});
+    }
+  }
+  return max_depth;
+}
+
 }  // namespace bryql

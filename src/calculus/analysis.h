@@ -51,6 +51,12 @@ FormulaPtr SortAC(const FormulaPtr& f);
 /// quantified outside it occur.
 bool IsMiniscope(const FormulaPtr& f);
 
+/// The nesting depth of `f`: 1 for a leaf (atom, comparison), 1 + max
+/// child depth otherwise. Implemented with an explicit stack so it is safe
+/// on arbitrarily deep ASTs — it is the function the resource governor's
+/// depth guard calls *before* any recursive traversal touches the formula.
+size_t FormulaDepth(const FormulaPtr& f);
+
 }  // namespace bryql
 
 #endif  // BRYQL_CALCULUS_ANALYSIS_H_

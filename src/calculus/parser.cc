@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/failpoints.h"
 #include "common/str_util.h"
 
 namespace bryql {
@@ -47,9 +48,16 @@ struct Token {
 
 class Lexer {
  public:
-  explicit Lexer(std::string_view text) : text_(text) {}
+  explicit Lexer(std::string_view text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Result<std::vector<Token>> Tokenize() {
+    if (limits_.max_bytes != 0 && text_.size() > limits_.max_bytes) {
+      return Status::InvalidArgument(
+          "query text of " + std::to_string(text_.size()) +
+          " bytes exceeds the limit of " +
+          std::to_string(limits_.max_bytes) + " bytes");
+    }
     std::vector<Token> tokens;
     while (true) {
       SkipSpace();
@@ -188,13 +196,16 @@ class Lexer {
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   size_t pos_ = 0;
 };
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, std::set<std::string> bound)
-      : tokens_(std::move(tokens)), bound_(std::move(bound)) {}
+  Parser(std::vector<Token> tokens, std::set<std::string> bound,
+         const ParseLimits& limits)
+      : tokens_(std::move(tokens)), bound_(std::move(bound)),
+        limits_(limits) {}
 
   Result<FormulaPtr> ParseFormulaToEnd() {
     BRYQL_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
@@ -239,6 +250,32 @@ class Parser {
   }
 
  private:
+  /// Every recursive production (negation, quantifier body, parenthesized
+  /// formula, implication tail) claims one nesting level on entry, so
+  /// adversarially nested input fails with InvalidArgument long before the
+  /// C++ stack is at risk. RAII so sibling subformulas don't accumulate.
+  class NestingGuard {
+   public:
+    explicit NestingGuard(Parser* parser) : parser_(parser) {
+      ++parser_->depth_;
+    }
+    ~NestingGuard() { --parser_->depth_; }
+    NestingGuard(const NestingGuard&) = delete;
+    NestingGuard& operator=(const NestingGuard&) = delete;
+
+   private:
+    Parser* parser_;
+  };
+
+  Status CheckDepth() const {
+    if (limits_.max_depth != 0 && depth_ >= limits_.max_depth) {
+      return Status::InvalidArgument(
+          "formula nesting exceeds the depth limit of " +
+          std::to_string(limits_.max_depth));
+    }
+    return Status::Ok();
+  }
+
   const Token& Current() const { return tokens_[index_]; }
   const Token& Next() const {
     return tokens_[std::min(index_ + 1, tokens_.size() - 1)];
@@ -277,6 +314,8 @@ class Parser {
     BRYQL_ASSIGN_OR_RETURN(FormulaPtr lhs, ParseOr());
     if (Current().kind == TokenKind::kArrow) {
       Advance();
+      BRYQL_RETURN_NOT_OK(CheckDepth());
+      NestingGuard guard(this);
       BRYQL_ASSIGN_OR_RETURN(FormulaPtr rhs, ParseImplies());
       return Formula::Implies(std::move(lhs), std::move(rhs));
     }
@@ -312,6 +351,8 @@ class Parser {
   Result<FormulaPtr> ParseUnary() {
     if (Current().kind == TokenKind::kTilde || AtKeyword("not")) {
       Advance();
+      BRYQL_RETURN_NOT_OK(CheckDepth());
+      NestingGuard guard(this);
       BRYQL_ASSIGN_OR_RETURN(FormulaPtr f, ParseUnary());
       return Formula::Not(std::move(f));
     }
@@ -326,6 +367,8 @@ class Parser {
       }
       if (vars.empty()) return Error("expected quantified variable name");
       BRYQL_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+      BRYQL_RETURN_NOT_OK(CheckDepth());
+      NestingGuard guard(this);
       std::vector<std::string> shadowed;
       for (const std::string& v : vars) {
         if (bound_.insert(v).second) shadowed.push_back(v);
@@ -339,6 +382,8 @@ class Parser {
     }
     if (Current().kind == TokenKind::kLParen) {
       Advance();
+      BRYQL_RETURN_NOT_OK(CheckDepth());
+      NestingGuard guard(this);
       BRYQL_ASSIGN_OR_RETURN(FormulaPtr f, ParseIff());
       BRYQL_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
       return f;
@@ -429,20 +474,27 @@ class Parser {
   std::vector<Token> tokens_;
   size_t index_ = 0;
   std::set<std::string> bound_;
+  ParseLimits limits_;
+  size_t depth_ = 0;
 };
 
 }  // namespace
 
-Result<Query> ParseQuery(std::string_view text) {
-  BRYQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
-  return Parser(std::move(tokens), {}).ParseQueryToEnd();
+Result<Query> ParseQuery(std::string_view text, const ParseLimits& limits) {
+  BRYQL_FAILPOINT("parse.query");
+  BRYQL_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                         Lexer(text, limits).Tokenize());
+  return Parser(std::move(tokens), {}, limits).ParseQueryToEnd();
 }
 
 Result<FormulaPtr> ParseFormula(std::string_view text,
-                                const std::vector<std::string>& bound_vars) {
-  BRYQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(text).Tokenize());
+                                const std::vector<std::string>& bound_vars,
+                                const ParseLimits& limits) {
+  BRYQL_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                         Lexer(text, limits).Tokenize());
   std::set<std::string> bound(bound_vars.begin(), bound_vars.end());
-  return Parser(std::move(tokens), std::move(bound)).ParseFormulaToEnd();
+  return Parser(std::move(tokens), std::move(bound), limits)
+      .ParseFormulaToEnd();
 }
 
 }  // namespace bryql

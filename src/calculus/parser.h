@@ -45,11 +45,29 @@ struct Query {
 /// list, and a *string constant* otherwise — so `enrolled(x, cs)` inside
 /// `exists x: ...` reads x as a variable and cs as the constant 'cs',
 /// exactly as the paper writes its examples.
-Result<Query> ParseQuery(std::string_view text);
+///
+/// The parser is recursive descent, so untrusted query text is an attack on
+/// the C++ stack; ParseLimits bounds it. Adversarial input (10k-deep
+/// nesting, megabyte tokens, truncated text) returns kInvalidArgument,
+/// never crashes.
+struct ParseLimits {
+  /// Cap on input size in bytes. 0 = unlimited.
+  size_t max_bytes = 1 << 20;
+  /// Cap on formula nesting depth — each parenthesis, negation,
+  /// quantifier body, or implication tail counts one level. 0 = unlimited
+  /// (trusts the caller; deep input can then exhaust the stack). The
+  /// default leaves ample headroom for real queries (which nest < 50)
+  /// while staying stack-safe even under sanitizers, whose frames are
+  /// several times larger.
+  size_t max_depth = 256;
+};
+
+Result<Query> ParseQuery(std::string_view text, const ParseLimits& limits = {});
 
 /// Parses a bare formula with the given names pre-bound as variables.
 Result<FormulaPtr> ParseFormula(std::string_view text,
-                                const std::vector<std::string>& bound_vars = {});
+                                const std::vector<std::string>& bound_vars = {},
+                                const ParseLimits& limits = {});
 
 }  // namespace bryql
 

@@ -1,0 +1,95 @@
+#include "common/failpoints.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+namespace bryql {
+namespace failpoints {
+
+namespace {
+
+struct Armed {
+  Status status;
+  size_t skip = 0;  // hits to let through before firing
+};
+
+std::mutex& Mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+std::map<std::string, Armed>& Registry() {
+  static std::map<std::string, Armed> registry;
+  return registry;
+}
+
+std::atomic<size_t>& ArmedCount() {
+  static std::atomic<size_t> count{0};
+  return count;
+}
+
+}  // namespace
+
+bool enabled() {
+#ifdef BRYQL_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Arm(const std::string& name, Status status, size_t skip) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] =
+      Registry().insert_or_assign(name, Armed{std::move(status), skip});
+  (void)it;
+  if (inserted) ArmedCount().fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(name) > 0) {
+    ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  ArmedCount().store(0, std::memory_order_relaxed);
+  Registry().clear();
+}
+
+bool AnyArmed() {
+  return ArmedCount().load(std::memory_order_relaxed) > 0;
+}
+
+Status Hit(const char* name) {
+  if (!AnyArmed()) return Status::Ok();
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::Ok();
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return Status::Ok();
+  }
+  return it->second.status;
+}
+
+std::vector<std::string> KnownFailpoints() {
+  // Keep in sync with the BRYQL_FAILPOINT sites and DESIGN.md §6.
+  return {
+      "parse.query",              // ParseQuery entry
+      "rewrite.step",             // each normalization rule application
+      "translate.plan",           // plan construction entry
+      "exec.iterator.open",       // every operator open (Engine::MakeIterator)
+      "exec.scan.open",           // base-relation scan open
+      "exec.hash.insert",         // join-family hash-table build, per tuple
+      "exec.materialize.insert",  // result/dedup materialization, per tuple
+      "nestedloop.enumerate",     // Figure 1 producer-block entry
+  };
+}
+
+}  // namespace failpoints
+}  // namespace bryql

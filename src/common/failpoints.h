@@ -1,0 +1,68 @@
+#ifndef BRYQL_COMMON_FAILPOINTS_H_
+#define BRYQL_COMMON_FAILPOINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace bryql {
+namespace failpoints {
+
+/// Named fault-injection points at operator boundaries, for testing that
+/// every evaluation strategy propagates mid-plan failures as clean non-OK
+/// Status with no crash, leak, or partial answer.
+///
+/// The facility is compiled in only under the BRYQL_FAILPOINTS build flag
+/// (CMake option of the same name); without it the BRYQL_FAILPOINT macro
+/// expands to nothing and the arming API below is a no-op that reports
+/// enabled() == false, so tests can skip cleanly.
+///
+/// Naming scheme: `<layer>.<site>[.<event>]`, e.g. "exec.scan.open",
+/// "exec.hash.insert", "rewrite.step". The canonical list lives in
+/// KnownFailpoints() and DESIGN.md §5.
+
+/// True when the library was built with BRYQL_FAILPOINTS.
+bool enabled();
+
+/// Arms `name`: after `skip` further hits, every hit returns `status`.
+/// `status` must be non-OK. Overwrites any previous arming of `name`.
+void Arm(const std::string& name, Status status, size_t skip = 0);
+
+/// Disarms one failpoint / all failpoints.
+void Disarm(const std::string& name);
+void DisarmAll();
+
+/// The Status armed at `name`, or OK when `name` is disarmed, still in its
+/// skip window, or the facility is compiled out. Called by the
+/// BRYQL_FAILPOINT macro; tests normally don't need it directly.
+Status Hit(const char* name);
+
+/// True when any failpoint is armed (one relaxed atomic load — the only
+/// cost a disarmed build-with-failpoints pays per site).
+bool AnyArmed();
+
+/// Every failpoint name compiled into the library, for exhaustive stress
+/// tests ("for each known failpoint: arm, run, expect non-OK").
+std::vector<std::string> KnownFailpoints();
+
+}  // namespace failpoints
+}  // namespace bryql
+
+/// Injection site: evaluates to a return of the armed Status when `name`
+/// is armed. Only valid inside functions returning Status or Result<T>.
+#ifdef BRYQL_FAILPOINTS
+#define BRYQL_FAILPOINT(name)                                \
+  do {                                                       \
+    if (::bryql::failpoints::AnyArmed()) {                   \
+      ::bryql::Status _fp = ::bryql::failpoints::Hit(name);  \
+      if (!_fp.ok()) return _fp;                             \
+    }                                                        \
+  } while (false)
+#else
+#define BRYQL_FAILPOINT(name) \
+  do {                        \
+  } while (false)
+#endif
+
+#endif  // BRYQL_COMMON_FAILPOINTS_H_

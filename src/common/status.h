@@ -20,6 +20,13 @@ enum class StatusCode {
   kUnsupported,
   /// An internal invariant was violated. Always a bug in bryql itself.
   kInternal,
+  /// A resource budget (tuples scanned/materialized, plan depth, rewrite
+  /// steps) was exhausted. The query may succeed with larger limits.
+  kResourceExhausted,
+  /// The evaluation's wall-clock deadline passed before it completed.
+  kDeadlineExceeded,
+  /// The evaluation was aborted through its CancellationToken.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -52,6 +59,23 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+
+  /// True for the three resource-governor codes — the errors that mean
+  /// "the query was stopped", not "the query is wrong".
+  bool IsResourceError() const {
+    return code_ == StatusCode::kResourceExhausted ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kCancelled;
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

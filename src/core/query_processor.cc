@@ -1,6 +1,7 @@
 #include "core/query_processor.h"
 
 #include "algebra/simplifier.h"
+#include "calculus/analysis.h"
 #include "calculus/range_analysis.h"
 #include "exec/executor.h"
 #include "nestedloop/nested_loop.h"
@@ -51,11 +52,33 @@ TranslateOptions OptionsFor(Strategy strategy) {
 }  // namespace
 
 Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
-                                          Strategy strategy) const {
+                                          Strategy strategy,
+                                          const QueryOptions& options,
+                                          ResourceGovernor* governor) const {
+  // Depth is measured iteratively before any recursive pass (view
+  // expansion, normalization, translation) walks the formula, so a
+  // pathologically deep input is rejected instead of overflowing the
+  // stack inside one of those passes.
+  if (options.max_formula_depth != 0 &&
+      FormulaDepth(raw_query.formula) > options.max_formula_depth) {
+    return Status::ResourceExhausted(
+        "formula depth " + std::to_string(FormulaDepth(raw_query.formula)) +
+        " exceeds max_formula_depth (" +
+        std::to_string(options.max_formula_depth) + ")");
+  }
   Query query = raw_query;
   if (views_ != nullptr) {
     BRYQL_ASSIGN_OR_RETURN(query, views_->Expand(query));
+    if (options.max_formula_depth != 0 &&
+        FormulaDepth(query.formula) > options.max_formula_depth) {
+      return Status::ResourceExhausted(
+          "formula depth after view expansion exceeds max_formula_depth (" +
+          std::to_string(options.max_formula_depth) + ")");
+    }
   }
+  RewriteOptions rewrite_options;
+  rewrite_options.max_steps = options.max_rewrite_steps;
+  rewrite_options.governor = governor;
   Execution exec;
   exec.query = query;
   std::set<std::string> targets(query.targets.begin(), query.targets.end());
@@ -64,7 +87,8 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
     // applied so all strategies answer the same canonical question (the
     // interpreter handles ∀ natively, so this is not required, but it
     // keeps the comparison apples-to-apples on the same formula).
-    BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm, NormalizeQuery(query));
+    BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm,
+                           NormalizeQuery(query, rewrite_options));
     exec.canonical = norm.formula;
     exec.rewrite_steps = norm.steps();
     if (domain_closure_ && !CheckRestrictedQuery(exec.canonical, targets).ok()) {
@@ -87,7 +111,8 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
     }
     return exec;
   }
-  BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm, NormalizeQuery(query));
+  BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm,
+                         NormalizeQuery(query, rewrite_options));
   exec.canonical = norm.formula;
   exec.rewrite_steps = norm.steps();
   if (domain_closure_ && !CheckRestrictedQuery(exec.canonical, targets).ok()) {
@@ -111,10 +136,15 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
 }
 
 Result<Execution> QueryProcessor::RunQuery(const Query& query,
-                                           Strategy strategy) const {
-  BRYQL_ASSIGN_OR_RETURN(Execution exec, Prepare(query, strategy));
+                                           Strategy strategy,
+                                           const QueryOptions& options) const {
+  // One governor per run: the deadline clock starts here and every phase
+  // (normalize, translate, evaluate) draws down the same budgets.
+  ResourceGovernor governor(options);
+  BRYQL_ASSIGN_OR_RETURN(Execution exec,
+                         Prepare(query, strategy, options, &governor));
   if (strategy == Strategy::kNestedLoop) {
-    NestedLoopEvaluator eval(db_);
+    NestedLoopEvaluator eval(db_, &governor);
     if (query.closed()) {
       BRYQL_ASSIGN_OR_RETURN(bool truth,
                              eval.EvaluateClosed(exec.canonical));
@@ -129,7 +159,7 @@ Result<Execution> QueryProcessor::RunQuery(const Query& query,
     exec.stats = eval.stats();
     return exec;
   }
-  Executor executor(db_);
+  Executor executor(db_, {}, &governor);
   if (query.closed()) {
     BRYQL_ASSIGN_OR_RETURN(bool truth, executor.EvaluateBool(exec.plan));
     exec.answer.closed = true;
@@ -142,16 +172,32 @@ Result<Execution> QueryProcessor::RunQuery(const Query& query,
   return exec;
 }
 
+namespace {
+
+ParseLimits ParseLimitsFor(const QueryOptions& options) {
+  ParseLimits limits;
+  limits.max_bytes = options.max_query_bytes;
+  limits.max_depth = options.max_formula_depth;
+  return limits;
+}
+
+}  // namespace
+
 Result<Execution> QueryProcessor::Run(const std::string& text,
-                                      Strategy strategy) const {
-  BRYQL_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
-  return RunQuery(query, strategy);
+                                      Strategy strategy,
+                                      const QueryOptions& options) const {
+  BRYQL_ASSIGN_OR_RETURN(Query query,
+                         ParseQuery(text, ParseLimitsFor(options)));
+  return RunQuery(query, strategy, options);
 }
 
 Result<Execution> QueryProcessor::Explain(const std::string& text,
-                                          Strategy strategy) const {
-  BRYQL_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
-  return Prepare(query, strategy);
+                                          Strategy strategy,
+                                          const QueryOptions& options) const {
+  BRYQL_ASSIGN_OR_RETURN(Query query,
+                         ParseQuery(text, ParseLimitsFor(options)));
+  ResourceGovernor governor(options);
+  return Prepare(query, strategy, options, &governor);
 }
 
 }  // namespace bryql

@@ -7,6 +7,7 @@
 #include "algebra/expr.h"
 #include "calculus/parser.h"
 #include "calculus/views.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "exec/stats.h"
 #include "rewrite/rewriter.h"
@@ -77,20 +78,32 @@ class QueryProcessor {
   /// are rejected with kUnsupported.
   void EnableDomainClosure(bool on = true) { domain_closure_ = on; }
 
-  /// Parses and runs `text` under `strategy`.
+  /// Parses and runs `text` under `strategy`, governed by `options`:
+  /// parsing honours max_query_bytes / max_formula_depth, normalization
+  /// honours max_rewrite_steps, and every evaluation strategy honours the
+  /// deadline, the tuple budgets and the cancellation token. Violations
+  /// surface as kResourceExhausted / kDeadlineExceeded / kCancelled; the
+  /// default options impose no deadline and no tuple budgets, only the
+  /// structural guards that keep adversarial inputs from crashing.
   Result<Execution> Run(const std::string& text,
-                        Strategy strategy = Strategy::kBry) const;
+                        Strategy strategy = Strategy::kBry,
+                        const QueryOptions& options = {}) const;
 
-  /// Runs an already-parsed query.
+  /// Runs an already-parsed query. Parse-phase limits in `options` do not
+  /// apply (there is nothing left to parse); max_formula_depth still does.
   Result<Execution> RunQuery(const Query& query,
-                             Strategy strategy = Strategy::kBry) const;
+                             Strategy strategy = Strategy::kBry,
+                             const QueryOptions& options = {}) const;
 
   /// Produces the canonical form and plan without executing (EXPLAIN).
   Result<Execution> Explain(const std::string& text,
-                            Strategy strategy = Strategy::kBry) const;
+                            Strategy strategy = Strategy::kBry,
+                            const QueryOptions& options = {}) const;
 
  private:
-  Result<Execution> Prepare(const Query& query, Strategy strategy) const;
+  Result<Execution> Prepare(const Query& query, Strategy strategy,
+                            const QueryOptions& options,
+                            ResourceGovernor* governor) const;
 
   const Database* db_;
   const ViewSet* views_ = nullptr;

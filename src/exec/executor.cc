@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/failpoints.h"
+
 namespace bryql {
 
 namespace {
@@ -34,10 +36,12 @@ Tuple KeyOf(const Tuple& t, const std::vector<JoinKey>& keys, bool left) {
 /// Streams a borrowed row vector (base relations).
 class ScanIterator : public TupleIterator {
  public:
-  ScanIterator(const std::vector<Tuple>* rows, ExecStats* stats)
-      : rows_(rows), stats_(stats) {}
+  ScanIterator(const std::vector<Tuple>* rows, ExecStats* stats,
+               ResourceGovernor* governor)
+      : rows_(rows), stats_(stats), governor_(governor) {}
   bool Next(Tuple* out) override {
     if (index_ >= rows_->size()) return false;
+    if (!governor_->AdmitScan()) return false;
     ++stats_->tuples_scanned;
     *out = (*rows_)[index_++];
     return true;
@@ -46,6 +50,7 @@ class ScanIterator : public TupleIterator {
  private:
   const std::vector<Tuple>* rows_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
   size_t index_ = 0;
 };
 
@@ -71,11 +76,13 @@ class OwnedIterator : public TupleIterator {
 class IndexScanIterator : public TupleIterator {
  public:
   IndexScanIterator(const Relation* rel, const std::vector<size_t>* matches,
-                    PredicatePtr residual, ExecStats* stats)
+                    PredicatePtr residual, ExecStats* stats,
+                    ResourceGovernor* governor)
       : rel_(rel), matches_(matches), residual_(std::move(residual)),
-        stats_(stats) {}
+        stats_(stats), governor_(governor) {}
   bool Next(Tuple* out) override {
     while (index_ < matches_->size()) {
+      if (!governor_->AdmitScan()) return false;
       const Tuple& row = rel_->rows()[(*matches_)[index_++]];
       ++stats_->tuples_scanned;
       if (residual_ == nullptr ||
@@ -92,17 +99,22 @@ class IndexScanIterator : public TupleIterator {
   const std::vector<size_t>* matches_;
   PredicatePtr residual_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
   size_t index_ = 0;
 };
 
 class SelectIterator : public TupleIterator {
  public:
-  SelectIterator(IterPtr input, PredicatePtr predicate, ExecStats* stats)
+  SelectIterator(IterPtr input, PredicatePtr predicate, ExecStats* stats,
+                 ResourceGovernor* governor)
       : input_(std::move(input)),
         predicate_(std::move(predicate)),
-        stats_(stats) {}
+        stats_(stats), governor_(governor) {}
   bool Next(Tuple* out) override {
     while (input_->Next(out)) {
+      // Tick, not a scan: the input counts itself, but a selection over an
+      // intermediate can reject unboundedly many tuples between yields.
+      if (!governor_->Tick()) return false;
       if (predicate_->Eval(*out, &stats_->comparisons)) return true;
     }
     return false;
@@ -112,23 +124,26 @@ class SelectIterator : public TupleIterator {
   IterPtr input_;
   PredicatePtr predicate_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
 };
 
 class ProjectIterator : public TupleIterator {
  public:
   ProjectIterator(IterPtr input, std::vector<size_t> columns,
-                  ExecStats* stats)
+                  ExecStats* stats, ResourceGovernor* governor)
       : input_(std::move(input)), columns_(std::move(columns)),
-        stats_(stats) {}
+        stats_(stats), governor_(governor) {}
   bool Next(Tuple* out) override {
     Tuple in;
     while (input_->Next(&in)) {
       Tuple projected = in.Project(columns_);
       if (seen_.insert(projected).second) {
+        if (!governor_->AdmitMaterialize()) return false;
         ++stats_->tuples_materialized;  // dedup set entry
         *out = std::move(projected);
         return true;
       }
+      if (!governor_->Tick()) return false;  // duplicate-rejection loop
     }
     return false;
   }
@@ -137,15 +152,20 @@ class ProjectIterator : public TupleIterator {
   IterPtr input_;
   std::vector<size_t> columns_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
   TupleSet seen_;
 };
 
 class ProductIterator : public TupleIterator {
  public:
-  ProductIterator(IterPtr left, Relation right)
-      : left_(std::move(left)), right_(std::move(right)) {}
+  ProductIterator(IterPtr left, Relation right, ResourceGovernor* governor)
+      : left_(std::move(left)), right_(std::move(right)),
+        governor_(governor) {}
   bool Next(Tuple* out) override {
     while (true) {
+      // A product's output is quadratic in its inputs; every emitted (or
+      // skipped) combination ticks so deadlines bite inside the loop.
+      if (!governor_->Tick()) return false;
       if (right_index_ == 0) {
         if (!left_->Next(&current_left_)) return false;
       }
@@ -162,6 +182,7 @@ class ProductIterator : public TupleIterator {
  private:
   IterPtr left_;
   Relation right_;
+  ResourceGovernor* governor_;
   Tuple current_left_;
   size_t right_index_ = 0;
 };
@@ -170,12 +191,14 @@ class ProductIterator : public TupleIterator {
 class JoinIterator : public TupleIterator {
  public:
   JoinIterator(IterPtr left, TupleMultiMap table, std::vector<JoinKey> keys,
-               PredicatePtr residual, ExecStats* stats)
+               PredicatePtr residual, ExecStats* stats,
+               ResourceGovernor* governor)
       : left_(std::move(left)), table_(std::move(table)),
         keys_(std::move(keys)), residual_(std::move(residual)),
-        stats_(stats) {}
+        stats_(stats), governor_(governor) {}
   bool Next(Tuple* out) override {
     while (true) {
+      if (!governor_->Tick()) return false;
       if (matches_ != nullptr && match_index_ < matches_->size()) {
         Tuple candidate = current_left_.Concat((*matches_)[match_index_++]);
         if (residual_ == nullptr ||
@@ -203,6 +226,7 @@ class JoinIterator : public TupleIterator {
   std::vector<JoinKey> keys_;
   PredicatePtr residual_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
   Tuple current_left_;
   const std::vector<Tuple>* matches_ = nullptr;
   size_t match_index_ = 0;
@@ -329,8 +353,10 @@ class MarkJoinIterator : public TupleIterator {
 /// Union with streaming dedup.
 class UnionIterator : public TupleIterator {
  public:
-  UnionIterator(IterPtr left, IterPtr right, ExecStats* stats)
-      : left_(std::move(left)), right_(std::move(right)), stats_(stats) {}
+  UnionIterator(IterPtr left, IterPtr right, ExecStats* stats,
+                ResourceGovernor* governor)
+      : left_(std::move(left)), right_(std::move(right)), stats_(stats),
+        governor_(governor) {}
   bool Next(Tuple* out) override {
     Tuple t;
     while (true) {
@@ -341,10 +367,12 @@ class UnionIterator : public TupleIterator {
         continue;
       }
       if (seen_.insert(t).second) {
+        if (!governor_->AdmitMaterialize()) return false;
         ++stats_->tuples_materialized;
         *out = std::move(t);
         return true;
       }
+      if (!governor_->Tick()) return false;
     }
   }
 
@@ -352,6 +380,7 @@ class UnionIterator : public TupleIterator {
   IterPtr left_;
   IterPtr right_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
   bool on_left_ = true;
   TupleSet seen_;
 };
@@ -388,19 +417,28 @@ const Predicate* FindIndexedEquality(const PredicatePtr& pred,
 /// required.
 class Engine {
  public:
-  Engine(const Database* db, const ExecOptions& options, ExecStats* stats)
-      : db_(db), options_(options), stats_(stats) {}
+  Engine(const Database* db, const ExecOptions& options, ExecStats* stats,
+         ResourceGovernor* governor)
+      : db_(db), options_(options), stats_(stats), governor_(governor) {}
 
   Result<IterPtr> MakeIterator(const ExprPtr& expr) {
+    // Operator open: fault-injection site, plan-depth admission, and a
+    // deadline/cancellation poll before any child work starts.
+    BRYQL_FAILPOINT("exec.iterator.open");
+    GovernorDepthGuard depth(governor_);
+    if (!depth.ok()) return governor_->status();
+    BRYQL_RETURN_NOT_OK(governor_->CheckNow());
     ++stats_->operators;
     switch (expr->kind()) {
       case ExprKind::kScan: {
+        BRYQL_FAILPOINT("exec.scan.open");
         BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
                                db_->Get(expr->relation_name()));
-        return IterPtr(new ScanIterator(&rel->rows(), stats_));
+        return IterPtr(new ScanIterator(&rel->rows(), stats_, governor_));
       }
       case ExprKind::kLiteral:
-        return IterPtr(new ScanIterator(&expr->literal().rows(), stats_));
+        return IterPtr(
+            new ScanIterator(&expr->literal().rows(), stats_, governor_));
       case ExprKind::kSelect: {
         // σ_{col = value}(scan) over an indexed column becomes an index
         // lookup; any remaining conjuncts stay as a residual filter.
@@ -415,23 +453,23 @@ class Engine {
             ++stats_->hash_probes;
             return IterPtr(new IndexScanIterator(
                 rel, &rel->Matches(eq->lhs(), eq->value()),
-                std::move(residual), stats_));
+                std::move(residual), stats_, governor_));
           }
         }
         BRYQL_ASSIGN_OR_RETURN(IterPtr in, MakeIterator(expr->child()));
         return IterPtr(new SelectIterator(std::move(in), expr->predicate(),
-                                          stats_));
+                                          stats_, governor_));
       }
       case ExprKind::kProject: {
         BRYQL_ASSIGN_OR_RETURN(IterPtr in, MakeIterator(expr->child()));
         return IterPtr(new ProjectIterator(std::move(in), expr->columns(),
-                                           stats_));
+                                           stats_, governor_));
       }
       case ExprKind::kProduct: {
         BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
         BRYQL_ASSIGN_OR_RETURN(Relation right, Materialize(expr->right()));
         return IterPtr(new ProductIterator(std::move(left),
-                                           std::move(right)));
+                                           std::move(right), governor_));
       }
       case ExprKind::kJoin: {
         if (options_.join_algorithm ==
@@ -444,7 +482,7 @@ class Engine {
                                BuildTable(expr->right(), expr->keys()));
         return IterPtr(new JoinIterator(std::move(left), std::move(table),
                                         expr->keys(), expr->predicate(),
-                                        stats_));
+                                        stats_, governor_));
       }
       case ExprKind::kSemiJoin:
       case ExprKind::kAntiJoin: {
@@ -494,7 +532,7 @@ class Engine {
         BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
         BRYQL_ASSIGN_OR_RETURN(IterPtr right, MakeIterator(expr->right()));
         return IterPtr(new UnionIterator(std::move(left), std::move(right),
-                                         stats_));
+                                         stats_, governor_));
       }
       case ExprKind::kDifference:
       case ExprKind::kIntersect: {
@@ -543,9 +581,15 @@ class Engine {
     Relation rel(arity);
     Tuple t;
     while (it->Next(&t)) {
-      if (rel.Insert(std::move(t))) ++stats_->tuples_materialized;
+      BRYQL_FAILPOINT("exec.materialize.insert");
+      if (!governor_->AdmitMaterialize()) break;
+      BRYQL_ASSIGN_OR_RETURN(bool fresh, rel.Insert(std::move(t)));
+      if (fresh) ++stats_->tuples_materialized;
       t = Tuple();
     }
+    // Distinguish "input exhausted" from "budget tripped mid-stream": a
+    // tripped governor means `rel` is a partial answer and must not leak.
+    BRYQL_RETURN_NOT_OK(governor_->status());
     return rel;
   }
 
@@ -555,7 +599,11 @@ class Engine {
         // The paper's non-emptiness test: pull a single witness.
         BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->child()));
         Tuple t;
-        return it->Next(&t);
+        bool witness = it->Next(&t);
+        // A governed iterator reports exhaustion when tripped; "false"
+        // must not masquerade as "empty".
+        BRYQL_RETURN_NOT_OK(governor_->status());
+        return witness;
       }
       case ExprKind::kBoolNot: {
         BRYQL_ASSIGN_OR_RETURN(bool v, EvaluateBool(expr->child()));
@@ -606,9 +654,12 @@ class Engine {
     TupleMultiMap table;
     Tuple t;
     while (it->Next(&t)) {
+      BRYQL_FAILPOINT("exec.hash.insert");
+      if (!governor_->AdmitMaterialize()) break;
       ++stats_->tuples_materialized;
       table[KeyOf(t, keys, /*left=*/false)].push_back(t);
     }
+    BRYQL_RETURN_NOT_OK(governor_->status());
     return table;
   }
 
@@ -618,10 +669,15 @@ class Engine {
     TupleSet set;
     Tuple t;
     while (it->Next(&t)) {
+      BRYQL_FAILPOINT("exec.hash.insert");
       if (set.insert(KeyOf(t, keys, /*left=*/false)).second) {
+        if (!governor_->AdmitMaterialize()) break;
         ++stats_->tuples_materialized;
+      } else if (!governor_->Tick()) {
+        break;
       }
     }
+    BRYQL_RETURN_NOT_OK(governor_->status());
     return set;
   }
 
@@ -630,9 +686,16 @@ class Engine {
     TupleSet set;
     Tuple t;
     while (it->Next(&t)) {
-      if (set.insert(std::move(t)).second) ++stats_->tuples_materialized;
+      BRYQL_FAILPOINT("exec.materialize.insert");
+      if (set.insert(std::move(t)).second) {
+        if (!governor_->AdmitMaterialize()) break;
+        ++stats_->tuples_materialized;
+      } else if (!governor_->Tick()) {
+        break;
+      }
       t = Tuple();
     }
+    BRYQL_RETURN_NOT_OK(governor_->status());
     return set;
   }
 
@@ -650,6 +713,7 @@ class Engine {
     std::unordered_map<Tuple, TupleSet, TupleHash> groups;
     Tuple t;
     while (it->Next(&t)) {
+      if (!governor_->AdmitMaterialize()) break;
       Tuple prefix = t.Project(prefix_cols);
       Tuple suffix = t.Project(suffix_cols);
       ++stats_->hash_probes;
@@ -661,6 +725,7 @@ class Engine {
         groups.try_emplace(std::move(prefix));
       }
     }
+    BRYQL_RETURN_NOT_OK(governor_->status());
     Relation result(p - q);
     for (auto& [prefix, matched] : groups) {
       if (matched.size() == divisor.size()) result.Insert(prefix);
@@ -695,12 +760,14 @@ class Engine {
       BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->right()));
       Tuple t;
       while (it->Next(&t)) {
+        if (!governor_->AdmitMaterialize()) break;
         if (divisor_groups[t.Project(t_group_cols)]
                 .insert(t.Project(t_value_cols))
                 .second) {
           ++stats_->tuples_materialized;
         }
       }
+      BRYQL_RETURN_NOT_OK(governor_->status());
     }
     // Count matched values per (keep, group) prefix of the dividend.
     std::unordered_map<Tuple, TupleSet, TupleHash> matched;
@@ -708,6 +775,7 @@ class Engine {
       BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->left()));
       Tuple t;
       while (it->Next(&t)) {
+        if (!governor_->AdmitMaterialize()) break;
         Tuple group = t.Project(d_group_cols);
         ++stats_->hash_probes;
         auto git = divisor_groups.find(group);
@@ -719,6 +787,7 @@ class Engine {
           ++stats_->tuples_materialized;
         }
       }
+      BRYQL_RETURN_NOT_OK(governor_->status());
     }
     Relation result(keep_arity + g);
     for (auto& [prefix, values] : matched) {
@@ -745,9 +814,11 @@ class Engine {
     BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->child()));
     Tuple t;
     while (it->Next(&t)) {
+      if (!governor_->AdmitMaterialize()) break;
       ++counts[t.Project(group_cols)];
       ++stats_->tuples_materialized;
     }
+    BRYQL_RETURN_NOT_OK(governor_->status());
     Relation result(g + 1);
     for (auto& [group, count] : counts) {
       Tuple row = group;
@@ -760,26 +831,41 @@ class Engine {
   const Database* db_;
   const ExecOptions& options_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
 };
 
 }  // namespace
 
 Result<Relation> Executor::Evaluate(const ExprPtr& expr) {
+  // Depth is computed iteratively, so a plan too deep for the recursive
+  // validation/construction below is rejected before it can smash the stack.
+  size_t max_depth = governor_->options().max_plan_depth;
+  if (max_depth != 0 && expr->Depth() > max_depth) {
+    return Status::ResourceExhausted(
+        "plan depth " + std::to_string(expr->Depth()) +
+        " exceeds max_plan_depth (" + std::to_string(max_depth) + ")");
+  }
   // Validate the whole tree up front so iterators can assume well-formed
   // shapes.
   BRYQL_RETURN_NOT_OK(expr->Arity(*db_).status());
-  Engine engine(db_, options_, &stats_);
+  Engine engine(db_, options_, &stats_, governor_);
   return engine.Materialize(expr);
 }
 
 Result<bool> Executor::EvaluateBool(const ExprPtr& expr) {
+  size_t max_depth = governor_->options().max_plan_depth;
+  if (max_depth != 0 && expr->Depth() > max_depth) {
+    return Status::ResourceExhausted(
+        "plan depth " + std::to_string(expr->Depth()) +
+        " exceeds max_plan_depth (" + std::to_string(max_depth) + ")");
+  }
   BRYQL_ASSIGN_OR_RETURN(size_t arity, expr->Arity(*db_));
   if (arity != 0) {
     return Status::InvalidArgument(
         "EvaluateBool requires an arity-0 (boolean) expression, got arity " +
         std::to_string(arity));
   }
-  Engine engine(db_, options_, &stats_);
+  Engine engine(db_, options_, &stats_, governor_);
   return engine.EvaluateBool(expr);
 }
 

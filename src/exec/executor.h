@@ -2,6 +2,7 @@
 #define BRYQL_EXEC_EXECUTOR_H_
 
 #include "algebra/expr.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "exec/stats.h"
 #include "storage/database.h"
@@ -31,11 +32,23 @@ struct ExecOptions {
 /// it on the whole of the query". Non-emptiness tests (closed queries) pull
 /// at most one tuple from their input and therefore stop at the first
 /// witness.
+///
+/// Resource governance: every base-relation read and every intermediate
+/// materialization is admitted through the ResourceGovernor, operator
+/// opens poll the deadline/cancellation, and the inner loops of
+/// join-family and product operators tick it so plans that filter
+/// everything out still honour the deadline. When the governor trips, the
+/// iterator pipeline stops and the evaluation returns the governor's
+/// Status (kResourceExhausted / kDeadlineExceeded / kCancelled) instead
+/// of a partial answer.
 class Executor {
  public:
-  /// `db` must outlive the executor.
-  explicit Executor(const Database* db, ExecOptions options = {})
-      : db_(db), options_(options) {}
+  /// `db` must outlive the executor. `governor` is borrowed and may be
+  /// null, which means ungoverned (no deadline, no budgets).
+  explicit Executor(const Database* db, ExecOptions options = {},
+                    ResourceGovernor* governor = nullptr)
+      : db_(db), options_(options),
+        governor_(governor != nullptr ? governor : &default_governor_) {}
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -56,6 +69,10 @@ class Executor {
   const Database* db_;
   ExecOptions options_;
   ExecStats stats_;
+  /// Fallback when no governor is injected: unlimited, so standalone
+  /// Executor users keep the pre-governor behaviour.
+  ResourceGovernor default_governor_;
+  ResourceGovernor* governor_;
 };
 
 }  // namespace bryql

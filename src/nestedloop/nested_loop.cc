@@ -5,6 +5,7 @@
 
 #include "algebra/predicate.h"  // CompareValues
 #include "calculus/range_analysis.h"
+#include "common/failpoints.h"
 
 namespace bryql {
 
@@ -38,8 +39,9 @@ using SolutionCallback = std::function<bool(const Env&)>;
 
 class Interpreter {
  public:
-  Interpreter(const Database* db, ExecStats* stats)
-      : db_(db), stats_(stats) {}
+  Interpreter(const Database* db, ExecStats* stats,
+              ResourceGovernor* governor)
+      : db_(db), stats_(stats), governor_(governor) {}
 
   /// Truth of a formula all of whose free variables are bound in `env`.
   Result<bool> EvalTruth(const FormulaPtr& f, Env& env) {
@@ -143,6 +145,8 @@ class Interpreter {
   Status ForEachSolution(const std::vector<std::string>& vars,
                          const FormulaPtr& body, Env& env,
                          const SolutionCallback& cb) {
+    BRYQL_FAILPOINT("nestedloop.enumerate");
+    BRYQL_RETURN_NOT_OK(governor_->CheckNow());
     std::set<std::string> required(vars.begin(), vars.end());
     auto split =
         SplitProducersAndFilters(Conjuncts(body), required, BoundVars(env));
@@ -228,6 +232,10 @@ class Interpreter {
         size_t row_count =
             index_rows != nullptr ? index_rows->size() : rel->rows().size();
         for (size_t r = 0; r < row_count; ++r) {
+          // Innermost loop of the whole Figure 1 interpreter: every row of
+          // every loop level passes through here, so the admission check
+          // bounds total work regardless of nesting depth.
+          if (!governor_->AdmitScan()) return governor_->status();
           const Tuple& row = index_rows != nullptr
                                  ? rel->rows()[(*index_rows)[r]]
                                  : rel->rows()[r];
@@ -310,6 +318,7 @@ class Interpreter {
 
   const Database* db_;
   ExecStats* stats_;
+  ResourceGovernor* governor_;
   Status error_;
 };
 
@@ -321,16 +330,19 @@ Result<bool> NestedLoopEvaluator::EvaluateClosed(const FormulaPtr& formula) {
         "EvaluateClosed requires a closed formula, got: " +
         formula->ToString());
   }
-  Interpreter interp(db_, &stats_);
+  Interpreter interp(db_, &stats_, governor_);
   Env env;
-  return interp.EvalTruth(formula, env);
+  Result<bool> truth = interp.EvalTruth(formula, env);
+  // Existential/universal loops swallow the stop signal; surface a trip.
+  if (truth.ok()) BRYQL_RETURN_NOT_OK(governor_->status());
+  return truth;
 }
 
 Result<Relation> NestedLoopEvaluator::EvaluateOpen(const Query& query) {
   if (query.closed()) {
     return Status::InvalidArgument("EvaluateOpen requires target variables");
   }
-  Interpreter interp(db_, &stats_);
+  Interpreter interp(db_, &stats_, governor_);
   Env env;
   Relation result(query.targets.size());
   // Figure 1c: enumerate all bindings of the producers; every binding
@@ -345,6 +357,7 @@ Result<Relation> NestedLoopEvaluator::EvaluateOpen(const Query& query) {
   for (const FormulaPtr& branch : branches) {
     BRYQL_RETURN_NOT_OK(interp.ForEachSolution(
         query.targets, branch, env, [&](const Env& done) {
+          if (!governor_->AdmitMaterialize()) return true;  // stop: tripped
           std::vector<Value> values;
           values.reserve(query.targets.size());
           for (const std::string& t : query.targets) {
@@ -353,6 +366,7 @@ Result<Relation> NestedLoopEvaluator::EvaluateOpen(const Query& query) {
           result.Insert(Tuple(std::move(values)));
           return false;  // collect all answers
         }));
+    BRYQL_RETURN_NOT_OK(governor_->status());
   }
   return result;
 }

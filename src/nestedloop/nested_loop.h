@@ -5,6 +5,7 @@
 #include <string>
 
 #include "calculus/parser.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "exec/stats.h"
 #include "storage/database.h"
@@ -22,8 +23,14 @@ namespace bryql {
 /// code with them.
 class NestedLoopEvaluator {
  public:
-  /// `db` must outlive the evaluator.
-  explicit NestedLoopEvaluator(const Database* db) : db_(db) {}
+  /// `db` must outlive the evaluator. `governor` is borrowed and may be
+  /// null (ungoverned). Every row the innermost loops touch is admitted
+  /// through it, so deadlines/budgets interrupt even a deeply nested
+  /// cartesian enumeration between any two tuples.
+  explicit NestedLoopEvaluator(const Database* db,
+                               ResourceGovernor* governor = nullptr)
+      : db_(db),
+        governor_(governor != nullptr ? governor : &default_governor_) {}
 
   /// Evaluates a closed formula to a truth value. The formula must have
   /// restricted quantifications (Definition 2); kUnsupported otherwise.
@@ -39,6 +46,8 @@ class NestedLoopEvaluator {
  private:
   const Database* db_;
   ExecStats stats_;
+  ResourceGovernor default_governor_;
+  ResourceGovernor* governor_;
 };
 
 }  // namespace bryql

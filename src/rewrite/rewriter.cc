@@ -5,6 +5,7 @@
 
 #include "calculus/analysis.h"
 #include "calculus/range_analysis.h"
+#include "common/failpoints.h"
 
 namespace bryql {
 
@@ -448,7 +449,11 @@ Result<NormalizeResult> Normalize(const FormulaPtr& formula,
                                   const RewriteOptions& options) {
   NormalizeResult result;
   result.formula = formula;
-  while (result.trace.size() < options.max_steps) {
+  while (options.max_steps == 0 || result.trace.size() < options.max_steps) {
+    BRYQL_FAILPOINT("rewrite.step");
+    if (options.governor != nullptr && !options.governor->Tick()) {
+      return options.governor->status();
+    }
     std::vector<RuleApplication> apps =
         FindApplications(result.formula, outer, options);
     if (apps.empty()) return result;
@@ -461,10 +466,10 @@ Result<NormalizeResult> Normalize(const FormulaPtr& formula,
     result.trace.push_back(app);
     ++result.rule_counts[app.rule];
   }
-  return Status::Internal("normalization exceeded max_steps (" +
-                          std::to_string(options.max_steps) +
-                          ") — non-termination would contradict "
-                          "Proposition 1");
+  return Status::ResourceExhausted(
+      "normalization exceeded max_rewrite_steps (" +
+      std::to_string(options.max_steps) +
+      ") — non-termination would contradict Proposition 1");
 }
 
 Result<NormalizeResult> NormalizeQuery(const Query& query,

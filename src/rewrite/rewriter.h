@@ -8,6 +8,7 @@
 
 #include "calculus/formula.h"
 #include "calculus/parser.h"
+#include "common/governor.h"
 #include "common/result.h"
 #include "rewrite/rules.h"
 
@@ -23,7 +24,13 @@ struct RewriteOptions {
   /// Rules 12/14: distribute producer disjunctions and split quantifiers.
   bool distribute_producer_disjunctions = true;
   /// Safety valve; normalization of any sane query takes far fewer steps.
+  /// The system is noetherian (Proposition 1), so hitting the cap means a
+  /// rewriter bug — reported as kResourceExhausted, not a hang.
   size_t max_steps = 200000;
+  /// Optional resource governor: when set, every rule application ticks
+  /// it, so deadlines and cancellation interrupt long normalizations.
+  /// Borrowed; must outlive the Normalize call.
+  ResourceGovernor* governor = nullptr;
 };
 
 /// Outcome of a normalization: the canonical formula plus a full trace.

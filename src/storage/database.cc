@@ -41,8 +41,7 @@ Status Database::BuildIndex(const std::string& name, size_t column) {
         "no column " + std::to_string(column) + " in relation '" + name +
         "' of arity " + std::to_string(it->second.arity()));
   }
-  it->second.BuildIndex(column);
-  return Status::Ok();
+  return it->second.BuildIndex(column);
 }
 
 void Database::BuildAllIndexes() {

@@ -1,7 +1,6 @@
 #include "storage/relation.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace bryql {
 
@@ -14,13 +13,17 @@ Result<Relation> Relation::FromRows(std::vector<Tuple> rows) {
           "FromRows: mixed arities " + std::to_string(rel.arity()) + " and " +
           std::to_string(t.arity()));
     }
-    rel.Insert(std::move(t));
+    BRYQL_RETURN_NOT_OK(rel.Insert(std::move(t)).status());
   }
   return rel;
 }
 
-bool Relation::Insert(Tuple tuple) {
-  assert(tuple.arity() == arity_);
+Result<bool> Relation::Insert(Tuple tuple) {
+  if (tuple.arity() != arity_) {
+    return Status::InvalidArgument(
+        "Insert: tuple arity " + std::to_string(tuple.arity()) +
+        " does not match relation arity " + std::to_string(arity_));
+  }
   auto [it, inserted] = index_.insert(tuple);
   (void)it;
   if (!inserted) return false;
@@ -31,20 +34,25 @@ bool Relation::Insert(Tuple tuple) {
   return true;
 }
 
-void Relation::BuildIndex(size_t column) {
-  assert(column < arity_);
+Status Relation::BuildIndex(size_t column) {
+  if (column >= arity_) {
+    return Status::InvalidArgument(
+        "BuildIndex: column " + std::to_string(column) +
+        " out of range for arity " + std::to_string(arity_));
+  }
   ColumnIndex built;
   for (size_t i = 0; i < rows_.size(); ++i) {
     built[rows_[i].at(column)].push_back(i);
   }
   column_indexes_[column] = std::move(built);
+  return Status::Ok();
 }
 
 const std::vector<size_t>& Relation::Matches(size_t column,
                                              const Value& value) const {
   static const std::vector<size_t> kEmpty;
   auto it = column_indexes_.find(column);
-  assert(it != column_indexes_.end());
+  if (it == column_indexes_.end()) return kEmpty;
   auto vit = it->second.find(value);
   return vit == it->second.end() ? kEmpty : vit->second;
 }

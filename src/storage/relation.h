@@ -34,9 +34,11 @@ class Relation {
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
-  /// Inserts a tuple; returns true when the tuple was new. The tuple's
-  /// arity must match the relation's.
-  bool Insert(Tuple tuple);
+  /// Inserts a tuple; returns true when the tuple was new. A tuple whose
+  /// arity differs from the relation's is rejected with kInvalidArgument —
+  /// never inserted, never asserted on — so malformed input cannot corrupt
+  /// the row store.
+  Result<bool> Insert(Tuple tuple);
 
   bool Contains(const Tuple& tuple) const {
     return index_.count(tuple) != 0;
@@ -64,13 +66,15 @@ class Relation {
   /// σ_{col=val}(scan) into an index lookup, and the Figure 1
   /// interpreter enumerates atoms through the index of a bound argument.
 
-  /// Builds (or rebuilds) the index on `column`. Must be < arity().
-  void BuildIndex(size_t column);
+  /// Builds (or rebuilds) the index on `column`; kInvalidArgument when
+  /// `column` is out of range for this arity.
+  Status BuildIndex(size_t column);
   bool HasIndex(size_t column) const {
     return column_indexes_.count(column) != 0;
   }
-  /// Row positions whose `column` equals `value` (empty when none).
-  /// HasIndex(column) must hold.
+  /// Row positions whose `column` equals `value`. Empty when none match —
+  /// or when no index exists on `column`, so callers that forgot
+  /// BuildIndex degrade to "no index hits", not undefined behaviour.
   const std::vector<size_t>& Matches(size_t column,
                                      const Value& value) const;
 

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "calculus/range_analysis.h"
+#include "common/failpoints.h"
 
 namespace bryql {
 
@@ -465,6 +466,7 @@ class ClassicalImpl {
 
 Result<ExprPtr> ClassicalTranslator::TranslateClosed(
     const FormulaPtr& formula) const {
+  BRYQL_FAILPOINT("translate.plan");
   if (!formula->FreeVariables().empty()) {
     return Status::InvalidArgument(
         "TranslateClosed requires a closed formula");
@@ -476,6 +478,7 @@ Result<ExprPtr> ClassicalTranslator::TranslateClosed(
 
 Result<TranslatedQuery> ClassicalTranslator::TranslateOpen(
     const Query& query) const {
+  BRYQL_FAILPOINT("translate.plan");
   if (query.closed()) {
     return Status::InvalidArgument("TranslateOpen requires targets");
   }

@@ -6,6 +6,7 @@
 
 #include "algebra/cost_model.h"
 #include "calculus/range_analysis.h"
+#include "common/failpoints.h"
 
 namespace bryql {
 
@@ -914,6 +915,7 @@ class TranslatorImpl {
 }  // namespace
 
 Result<ExprPtr> Translator::TranslateClosed(const FormulaPtr& canonical) const {
+  BRYQL_FAILPOINT("translate.plan");
   if (!canonical->FreeVariables().empty()) {
     return Status::InvalidArgument(
         "TranslateClosed requires a closed formula, got: " +
@@ -924,6 +926,7 @@ Result<ExprPtr> Translator::TranslateClosed(const FormulaPtr& canonical) const {
 }
 
 Result<TranslatedQuery> Translator::TranslateOpen(const Query& query) const {
+  BRYQL_FAILPOINT("translate.plan");
   if (query.closed()) {
     return Status::InvalidArgument("TranslateOpen requires targets");
   }

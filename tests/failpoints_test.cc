@@ -1,0 +1,147 @@
+#include "common/failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/query_processor.h"
+#include "workload/university.h"
+
+namespace bryql {
+namespace {
+
+constexpr Strategy kAllStrategies[] = {
+    Strategy::kBry,          Strategy::kBryDivision,
+    Strategy::kQuelCounting, Strategy::kBryUnionFilters,
+    Strategy::kClassical,    Strategy::kNestedLoop,
+};
+
+UniversityConfig SmallConfig(uint64_t seed) {
+  UniversityConfig config;
+  config.students = 40;
+  config.professors = 10;
+  config.lectures = 18;
+  config.seed = seed;
+  return config;
+}
+
+/// A query that exercises every pipeline phase: it parses, normalizes
+/// (negated universal), translates, scans, joins and materializes, and is
+/// supported by all six strategies.
+const char kFullPipelineQuery[] =
+    "{ x | student(x) & ~forall y: (lecture(y, db) -> attends(x, y)) }";
+
+class FailpointsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!failpoints::enabled()) {
+      GTEST_SKIP() << "built without BRYQL_FAILPOINTS; nothing to inject";
+    }
+    failpoints::DisarmAll();
+  }
+  void TearDown() override { failpoints::DisarmAll(); }
+};
+
+TEST_F(FailpointsTest, DisarmedBaselineSucceedsOnEveryStrategy) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  for (Strategy s : kAllStrategies) {
+    auto exec = qp.Run(kFullPipelineQuery, s);
+    EXPECT_TRUE(exec.ok()) << StrategyName(s) << ": " << exec.status();
+  }
+}
+
+/// The stress matrix: every known failpoint armed against every strategy.
+/// A strategy whose pipeline passes through the site must fail with
+/// exactly the injected Status; a strategy that never reaches the site
+/// must succeed untouched. Either way: no crash, no partial answer
+/// reported as success.
+TEST_F(FailpointsTest, EveryKnownFailpointPropagatesOnEveryStrategy) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  for (const std::string& fp : failpoints::KnownFailpoints()) {
+    size_t strategies_hit = 0;
+    for (Strategy s : kAllStrategies) {
+      failpoints::DisarmAll();
+      failpoints::Arm(fp, Status::Internal("injected at " + fp));
+      auto exec = qp.Run(kFullPipelineQuery, s);
+      if (exec.ok()) continue;  // site not on this strategy's path
+      EXPECT_EQ(exec.status().code(), StatusCode::kInternal)
+          << fp << " on " << StrategyName(s) << ": " << exec.status();
+      EXPECT_NE(exec.status().message().find("injected at " + fp),
+                std::string::npos)
+          << fp << " on " << StrategyName(s)
+          << " failed with an unrelated error: " << exec.status();
+      ++strategies_hit;
+    }
+    EXPECT_GE(strategies_hit, 1u)
+        << "failpoint '" << fp << "' was reached by no strategy — dead site?";
+  }
+}
+
+TEST_F(FailpointsTest, ExpectedCoverageMatrix) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  auto fails_on = [&](const char* fp, Strategy s) {
+    failpoints::DisarmAll();
+    failpoints::Arm(fp, Status::Internal(std::string("injected at ") + fp));
+    auto exec = qp.Run(kFullPipelineQuery, s);
+    failpoints::DisarmAll();
+    return !exec.ok();
+  };
+  for (Strategy s : kAllStrategies) {
+    // Every strategy parses.
+    EXPECT_TRUE(fails_on("parse.query", s)) << StrategyName(s);
+    // Every strategy except the classical reduction normalizes.
+    EXPECT_EQ(fails_on("rewrite.step", s), s != Strategy::kClassical)
+        << StrategyName(s);
+    // Every algebraic strategy translates and opens iterators; the
+    // Figure 1 interpreter does neither but enumerates instead.
+    bool algebraic = s != Strategy::kNestedLoop;
+    EXPECT_EQ(fails_on("translate.plan", s), algebraic) << StrategyName(s);
+    EXPECT_EQ(fails_on("exec.iterator.open", s), algebraic)
+        << StrategyName(s);
+    EXPECT_EQ(fails_on("exec.scan.open", s), algebraic) << StrategyName(s);
+    EXPECT_EQ(fails_on("nestedloop.enumerate", s),
+              s == Strategy::kNestedLoop)
+        << StrategyName(s);
+  }
+}
+
+TEST_F(FailpointsTest, SkipCountDelaysInjection) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  // parse.query is hit exactly once per Run: skip=2 lets two runs pass.
+  failpoints::Arm("parse.query", Status::Internal("third run fails"), 2);
+  EXPECT_TRUE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
+  EXPECT_TRUE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
+  auto third = qp.Run(kFullPipelineQuery, Strategy::kBry);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().message(), "third run fails");
+}
+
+TEST_F(FailpointsTest, DisarmRestoresCleanRuns) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  failpoints::Arm("exec.scan.open", Status::Internal("boom"));
+  EXPECT_FALSE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
+  failpoints::Disarm("exec.scan.open");
+  EXPECT_FALSE(failpoints::AnyArmed());
+  auto exec = qp.Run(kFullPipelineQuery, Strategy::kBry);
+  EXPECT_TRUE(exec.ok()) << exec.status();
+}
+
+TEST_F(FailpointsTest, InjectedResourceStatusKeepsItsCode) {
+  // Failpoints can impersonate governor trips, proving the propagation
+  // path preserves the three resource codes end to end.
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  failpoints::Arm("exec.iterator.open",
+                  Status::DeadlineExceeded("injected deadline"));
+  auto exec = qp.Run(kFullPipelineQuery, Strategy::kBry);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace bryql

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "calculus/parser.h"
+
+namespace bryql {
+namespace {
+
+/// Adversarial inputs: the parser must return a clean Status on every one
+/// of these — never crash, overflow the stack, or hang. The depth guard
+/// (ParseLimits.max_depth, default 256) is what turns a 10k-deep
+/// recursion bomb into a kInvalidArgument.
+
+TEST(ParserAdversarialTest, DeeplyNestedParensRejectedCleanly) {
+  std::string bomb;
+  for (int i = 0; i < 10000; ++i) bomb += '(';
+  bomb += "student(x)";
+  for (int i = 0; i < 10000; ++i) bomb += ')';
+  auto r = ParseFormula(bomb, {"x"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserAdversarialTest, DeeplyNestedNegationsRejectedCleanly) {
+  std::string bomb = "exists x: ";
+  for (int i = 0; i < 20000; ++i) bomb += '~';
+  bomb += "student(x)";
+  auto r = ParseQuery(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserAdversarialTest, DeeplyNestedQuantifiersRejectedCleanly) {
+  std::string bomb;
+  for (int i = 0; i < 10000; ++i) {
+    bomb += "exists x" + std::to_string(i) + ": ";
+  }
+  bomb += "student(x0)";
+  auto r = ParseQuery(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserAdversarialTest, DeepImplicationChainRejectedCleanly) {
+  std::string bomb = "student(a)";
+  for (int i = 0; i < 10000; ++i) bomb += " -> student(a)";
+  auto r = ParseFormula(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserAdversarialTest, MixedNestingBombRejectedCleanly) {
+  std::string bomb = "exists x: ";
+  for (int i = 0; i < 5000; ++i) bomb += "~(";
+  bomb += "student(x)";
+  for (int i = 0; i < 5000; ++i) bomb += ')';
+  auto r = ParseQuery(bomb);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserAdversarialTest, NestingUnderTheLimitStillParses) {
+  std::string fine = "exists x: ";
+  for (int i = 0; i < 100; ++i) fine += "~~";  // well under the default cap
+  fine += "student(x)";
+  auto r = ParseQuery(fine);
+  ASSERT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParserAdversarialTest, CustomDepthLimitIsHonoured) {
+  ParseLimits limits;
+  limits.max_depth = 4;
+  EXPECT_TRUE(ParseQuery("exists x: ~~(student(x))", limits).ok());
+  EXPECT_FALSE(ParseQuery("exists x: ~~~~~~(student(x))", limits).ok());
+}
+
+TEST(ParserAdversarialTest, OversizedInputRejectedBeforeLexing) {
+  // Default byte cap is 1 MiB; hand the lexer 2 MiB of one giant token.
+  std::string huge(2 << 20, 'a');
+  auto r = ParseQuery(huge);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserAdversarialTest, LongButLegalTokenWithinCapParses) {
+  // A 100 KiB predicate name is obnoxious but legal: parse must succeed
+  // (whether the relation exists is evaluation's problem, not parsing's).
+  std::string long_name(100 << 10, 'p');
+  auto r = ParseQuery("exists x: " + long_name + "(x)");
+  EXPECT_TRUE(r.ok()) << r.status();
+}
+
+TEST(ParserAdversarialTest, TruncatedInputsReturnStatus) {
+  const char* cases[] = {
+      "",
+      "{",
+      "{ x",
+      "{ x |",
+      "{ x | student(x",
+      "{ x | student(x) ",
+      "exists",
+      "exists x",
+      "exists x:",
+      "exists x: (",
+      "exists x: student(x) &",
+      "forall y: (lecture(y, db) ->",
+      "~",
+      "(",
+  };
+  for (const char* text : cases) {
+    auto r = ParseQuery(text);
+    EXPECT_FALSE(r.ok()) << "accepted truncated input: '" << text << "'";
+  }
+}
+
+TEST(ParserAdversarialTest, GarbageBytesReturnStatus) {
+  const std::string cases[] = {
+      std::string("\xff\xfe\x00\x01\x02", 5),
+      "exists x: student(\x01\x02)",
+      "{ x | \xc3\x28 }",  // malformed UTF-8 sequence
+      "}} | x { )(",
+      "&&&&&&&&",
+      "exists exists exists",
+      ": : : :",
+  };
+  for (const std::string& text : cases) {
+    auto r = ParseQuery(text);
+    EXPECT_FALSE(r.ok()) << "accepted garbage input";
+  }
+}
+
+TEST(ParserAdversarialTest, RepeatedParseIsDeterministic) {
+  // Error paths must not leave the parser in a broken global state.
+  std::string bomb = "exists x: ";
+  for (int i = 0; i < 20000; ++i) bomb += '~';
+  bomb += "student(x)";
+  auto first = ParseQuery(bomb);
+  auto second = ParseQuery(bomb);
+  ASSERT_FALSE(first.ok());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(first.status().code(), second.status().code());
+  EXPECT_EQ(first.status().message(), second.status().message());
+  // And a good parse still works afterwards.
+  EXPECT_TRUE(ParseQuery("exists x: student(x)").ok());
+}
+
+}  // namespace
+}  // namespace bryql

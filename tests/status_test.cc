@@ -25,6 +25,20 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, ResourceErrorClassification) {
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceError());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsResourceError());
+  EXPECT_TRUE(Status::Cancelled("x").IsResourceError());
+  EXPECT_FALSE(Status::Ok().IsResourceError());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsResourceError());
+  EXPECT_FALSE(Status::Internal("x").IsResourceError());
 }
 
 TEST(StatusTest, StreamOperator) {
@@ -36,6 +50,11 @@ TEST(StatusTest, StreamOperator) {
 TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
 }
 
 Result<int> Half(int x) {

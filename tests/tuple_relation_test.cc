@@ -35,12 +35,40 @@ TEST(TupleTest, ToString) {
 
 TEST(RelationTest, SetSemantics) {
   Relation r(1);
-  EXPECT_TRUE(r.Insert(Ints({1})));
-  EXPECT_FALSE(r.Insert(Ints({1})));  // duplicate collapses
-  EXPECT_TRUE(r.Insert(Ints({2})));
+  EXPECT_TRUE(*r.Insert(Ints({1})));
+  EXPECT_FALSE(*r.Insert(Ints({1})));  // duplicate collapses
+  EXPECT_TRUE(*r.Insert(Ints({2})));
   EXPECT_EQ(r.size(), 2u);
   EXPECT_TRUE(r.Contains(Ints({1})));
   EXPECT_FALSE(r.Contains(Ints({3})));
+}
+
+TEST(RelationTest, InsertRejectsArityMismatch) {
+  Relation r(2);
+  auto bad = r.Insert(Ints({1}));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.size(), 0u);  // rejected tuple never lands in the row store
+  auto also_bad = r.Insert(Ints({1, 2, 3}));
+  EXPECT_FALSE(also_bad.ok());
+  EXPECT_TRUE(*r.Insert(Ints({1, 2})));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, BuildIndexRejectsOutOfRangeColumn) {
+  Relation r(2);
+  EXPECT_TRUE(*r.Insert(Ints({1, 2})));
+  EXPECT_TRUE(r.BuildIndex(1).ok());
+  auto bad = r.BuildIndex(2);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, MatchesWithoutIndexIsEmptyNotUB) {
+  Relation r(2);
+  EXPECT_TRUE(*r.Insert(Ints({1, 2})));
+  // No index on column 0: degrade to "no hits" instead of asserting.
+  EXPECT_TRUE(r.Matches(0, Value::Int(1)).empty());
 }
 
 TEST(RelationTest, FromRowsRejectsMixedArity) {
@@ -77,7 +105,7 @@ TEST(RelationTest, ArityZeroEncodesBooleans) {
   tru.Insert(Tuple{});
   EXPECT_TRUE(fals.empty());
   EXPECT_EQ(tru.size(), 1u);
-  EXPECT_FALSE(tru.Insert(Tuple{}));  // only one empty tuple exists
+  EXPECT_FALSE(*tru.Insert(Tuple{}));  // only one empty tuple exists
 }
 
 TEST(RelationTest, SortedRows) {
