@@ -10,6 +10,7 @@
 //   .rel <name> a,b\n c,d ;   define a relation inline (rows until ';')
 //   .relations                list relations
 //   .explain <query>          show canonical form + plan without running
+//   .explain physical <query> show the lowered physical operator tree
 //   .cost <query>             plan annotated with cost-model estimates
 //   .view <name> <query>      define a view, e.g. .view v { x | p(x) }
 //   .index <name> <column>    build a hash index (0-based column)
@@ -76,7 +77,8 @@ int main(int argc, char** argv) {
       std::cout << "queries: { x | p(x) & ... } or a closed formula\n"
                 << "commands: .load name file.csv | .rel name rows... ; |\n"
                 << "          .relations | .explain <query> | "
-                   ".strategy <name> | .quit\n";
+                   ".explain physical <query> |\n"
+                << "          .strategy <name> | .quit\n";
       continue;
     }
     if (line == ".relations") {
@@ -189,6 +191,19 @@ int main(int argc, char** argv) {
       auto annotated = model.Annotate(exec->plan);
       std::cout << (annotated.ok() ? *annotated
                                    : annotated.status().ToString());
+      continue;
+    }
+    if (line.rfind(".explain physical ", 0) == 0) {
+      auto exec = qp.Explain(line.substr(18), strategy);
+      if (!exec.ok()) {
+        std::cout << exec.status() << "\n";
+        continue;
+      }
+      if (exec->physical != nullptr) {
+        std::cout << exec->physical->ToString();
+      } else {
+        std::cout << "no physical plan for this strategy\n";
+      }
       continue;
     }
     if (line.rfind(".explain ", 0) == 0) {

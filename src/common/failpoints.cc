@@ -83,7 +83,8 @@ std::vector<std::string> KnownFailpoints() {
       "parse.query",              // ParseQuery entry
       "rewrite.step",             // each normalization rule application
       "translate.plan",           // plan construction entry
-      "exec.iterator.open",       // every operator open (Engine::MakeIterator)
+      "exec.lower.plan",          // logical → physical lowering entry
+      "exec.iterator.open",       // every operator open / instantiation
       "exec.scan.open",           // base-relation scan open
       "exec.hash.insert",         // join-family hash-table build, per tuple
       "exec.materialize.insert",  // result/dedup materialization, per tuple

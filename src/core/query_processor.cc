@@ -3,7 +3,6 @@
 #include "algebra/simplifier.h"
 #include "calculus/analysis.h"
 #include "calculus/range_analysis.h"
-#include "exec/executor.h"
 #include "nestedloop/nested_loop.h"
 #include "rewrite/domain_closure.h"
 #include "translate/classical_translator.h"
@@ -49,12 +48,18 @@ TranslateOptions OptionsFor(Strategy strategy) {
   return options;
 }
 
+ParseLimits ParseLimitsFor(const QueryOptions& options) {
+  ParseLimits limits;
+  limits.max_bytes = options.max_query_bytes;
+  limits.max_depth = options.max_formula_depth;
+  return limits;
+}
+
 }  // namespace
 
-Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
-                                          Strategy strategy,
-                                          const QueryOptions& options,
-                                          ResourceGovernor* governor) const {
+Result<Execution> QueryProcessor::BuildExecution(
+    const Query& raw_query, Strategy strategy, const QueryOptions& options,
+    ResourceGovernor* governor) const {
   // Depth is measured iteratively before any recursive pass (view
   // expansion, normalization, translation) walks the formula, so a
   // pathologically deep input is rejected instead of overflowing the
@@ -87,6 +92,7 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
     // applied so all strategies answer the same canonical question (the
     // interpreter handles ∀ natively, so this is not required, but it
     // keeps the comparison apples-to-apples on the same formula).
+    ++prepare_counters_.normalizations;
     BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm,
                            NormalizeQuery(query, rewrite_options));
     exec.canonical = norm.formula;
@@ -100,6 +106,7 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
   if (strategy == Strategy::kClassical) {
     // The conventional methods reduce the raw query directly (prenex
     // form); no canonical form phase.
+    ++prepare_counters_.translations;
     ClassicalTranslator classical(db_);
     if (query.closed()) {
       BRYQL_ASSIGN_OR_RETURN(exec.plan,
@@ -111,6 +118,7 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
     }
     return exec;
   }
+  ++prepare_counters_.normalizations;
   BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm,
                          NormalizeQuery(query, rewrite_options));
   exec.canonical = norm.formula;
@@ -119,6 +127,7 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
     BRYQL_ASSIGN_OR_RETURN(exec.canonical,
                            ApplyDomainClosure(exec.canonical, targets));
   }
+  ++prepare_counters_.translations;
   Translator translator(db_, OptionsFor(strategy));
   if (query.closed()) {
     BRYQL_ASSIGN_OR_RETURN(exec.plan,
@@ -135,6 +144,125 @@ Result<Execution> QueryProcessor::Prepare(const Query& raw_query,
   return exec;
 }
 
+std::string QueryProcessor::CacheKey(const std::string& text,
+                                     Strategy strategy,
+                                     const QueryOptions& options) const {
+  // Everything that shapes the prepared artifacts must be in the key:
+  // the strategy and translation-affecting processor state, the lowering
+  // knobs, and the structural limits (a plan prepared under lax limits
+  // must not satisfy a stricter run). Engine mode and batch size are
+  // deliberately absent — they pick how a plan is *driven*, not what it
+  // is, and Execute consults them directly. Views are handled by
+  // invalidation (SetViews clears the cache).
+  std::string key = StrategyName(strategy);
+  key += '\x1f';
+  key += domain_closure_ ? '1' : '0';
+  key += exec_options_.join_algorithm == ExecOptions::JoinAlgorithm::kSortMerge
+             ? 's'
+             : 'h';
+  key += exec_options_.cost_based_build_side ? 'c' : '-';
+  key += '\x1f';
+  key += std::to_string(options.max_formula_depth);
+  key += ':';
+  key += std::to_string(options.max_rewrite_steps);
+  key += ':';
+  key += std::to_string(options.max_query_bytes);
+  key += '\x1f';
+  key += text;
+  return key;
+}
+
+Result<PreparedQueryPtr> QueryProcessor::PrepareInternal(
+    const std::string& text, Strategy strategy, const QueryOptions& options,
+    ResourceGovernor* governor, bool* cache_hit) const {
+  const std::string key = CacheKey(text, strategy, options);
+  if (PreparedQueryPtr cached = cache_.Get(key)) {
+    if (cached->db_version == db_->version()) {
+      *cache_hit = true;
+      return cached;
+    }
+    // The catalog moved under the cached plan (relation replaced, index
+    // built): arities and access paths may have changed, so re-prepare
+    // from the text. The refreshed entry replaces the stale one below.
+  }
+  *cache_hit = false;
+  ++prepare_counters_.parses;
+  BRYQL_ASSIGN_OR_RETURN(Query query,
+                         ParseQuery(text, ParseLimitsFor(options)));
+  BRYQL_ASSIGN_OR_RETURN(Execution exec,
+                         BuildExecution(query, strategy, options, governor));
+  auto prepared = std::make_shared<PreparedQuery>();
+  prepared->text = text;
+  prepared->strategy = strategy;
+  prepared->query = exec.query;
+  prepared->canonical = exec.canonical;
+  prepared->plan = exec.plan;
+  prepared->rewrite_steps = exec.rewrite_steps;
+  if (exec.plan != nullptr) {
+    ++prepare_counters_.lowerings;
+    Executor executor(db_, exec_options_, governor);
+    BRYQL_ASSIGN_OR_RETURN(prepared->physical, executor.Lower(exec.plan));
+  }
+  prepared->db_version = db_->version();
+  PreparedQueryPtr shared = std::move(prepared);
+  cache_.Put(key, shared);
+  return shared;
+}
+
+Result<Execution> QueryProcessor::ExecuteInternal(
+    const PreparedQuery& prepared, ResourceGovernor* governor) const {
+  Execution exec;
+  exec.query = prepared.query;
+  exec.canonical = prepared.canonical;
+  exec.plan = prepared.plan;
+  exec.physical = prepared.physical;
+  exec.rewrite_steps = prepared.rewrite_steps;
+  if (prepared.strategy == Strategy::kNestedLoop) {
+    NestedLoopEvaluator eval(db_, governor);
+    if (prepared.query.closed()) {
+      BRYQL_ASSIGN_OR_RETURN(bool truth,
+                             eval.EvaluateClosed(prepared.canonical));
+      exec.answer.closed = true;
+      exec.answer.truth = truth;
+    } else {
+      Query canonical_query{prepared.query.targets, prepared.canonical};
+      BRYQL_ASSIGN_OR_RETURN(Relation rel,
+                             eval.EvaluateOpen(canonical_query));
+      exec.answer.relation = std::move(rel);
+    }
+    exec.stats = eval.stats();
+    return exec;
+  }
+  Executor executor(db_, exec_options_, governor);
+  // The prepared physical plan is the fast path; fall back to lowering
+  // from the logical plan when the engine is in tuple-at-a-time mode or
+  // the catalog moved since preparation.
+  const bool use_physical =
+      exec_options_.mode == ExecOptions::Mode::kBatched &&
+      prepared.physical != nullptr && prepared.db_version == db_->version();
+  if (prepared.query.closed()) {
+    bool truth = false;
+    if (use_physical) {
+      BRYQL_ASSIGN_OR_RETURN(truth,
+                             executor.ExecutePhysicalBool(prepared.physical));
+    } else {
+      BRYQL_ASSIGN_OR_RETURN(truth, executor.EvaluateBool(prepared.plan));
+    }
+    exec.answer.closed = true;
+    exec.answer.truth = truth;
+  } else {
+    Relation rel{0};
+    if (use_physical) {
+      BRYQL_ASSIGN_OR_RETURN(rel, executor.ExecutePhysical(prepared.physical));
+    } else {
+      BRYQL_ASSIGN_OR_RETURN(rel, executor.Evaluate(prepared.plan));
+    }
+    exec.answer.relation = std::move(rel);
+  }
+  exec.stats = executor.stats();
+  return exec;
+}
+
 Result<Execution> QueryProcessor::RunQuery(const Query& query,
                                            Strategy strategy,
                                            const QueryOptions& options) const {
@@ -142,7 +270,7 @@ Result<Execution> QueryProcessor::RunQuery(const Query& query,
   // (normalize, translate, evaluate) draws down the same budgets.
   ResourceGovernor governor(options);
   BRYQL_ASSIGN_OR_RETURN(Execution exec,
-                         Prepare(query, strategy, options, &governor));
+                         BuildExecution(query, strategy, options, &governor));
   if (strategy == Strategy::kNestedLoop) {
     NestedLoopEvaluator eval(db_, &governor);
     if (query.closed()) {
@@ -159,7 +287,7 @@ Result<Execution> QueryProcessor::RunQuery(const Query& query,
     exec.stats = eval.stats();
     return exec;
   }
-  Executor executor(db_, {}, &governor);
+  Executor executor(db_, exec_options_, &governor);
   if (query.closed()) {
     BRYQL_ASSIGN_OR_RETURN(bool truth, executor.EvaluateBool(exec.plan));
     exec.answer.closed = true;
@@ -172,23 +300,38 @@ Result<Execution> QueryProcessor::RunQuery(const Query& query,
   return exec;
 }
 
-namespace {
-
-ParseLimits ParseLimitsFor(const QueryOptions& options) {
-  ParseLimits limits;
-  limits.max_bytes = options.max_query_bytes;
-  limits.max_depth = options.max_formula_depth;
-  return limits;
-}
-
-}  // namespace
-
 Result<Execution> QueryProcessor::Run(const std::string& text,
                                       Strategy strategy,
                                       const QueryOptions& options) const {
-  BRYQL_ASSIGN_OR_RETURN(Query query,
-                         ParseQuery(text, ParseLimitsFor(options)));
-  return RunQuery(query, strategy, options);
+  // One governor spans preparation (on a cache miss) and execution, so
+  // the deadline and budgets cover the whole run exactly as they did
+  // before the prepared fast path existed.
+  ResourceGovernor governor(options);
+  bool cache_hit = false;
+  BRYQL_ASSIGN_OR_RETURN(
+      PreparedQueryPtr prepared,
+      PrepareInternal(text, strategy, options, &governor, &cache_hit));
+  BRYQL_ASSIGN_OR_RETURN(Execution exec,
+                         ExecuteInternal(*prepared, &governor));
+  exec.plan_cache_hit = cache_hit;
+  return exec;
+}
+
+Result<PreparedQueryPtr> QueryProcessor::Prepare(
+    const std::string& text, Strategy strategy,
+    const QueryOptions& options) const {
+  ResourceGovernor governor(options);
+  bool cache_hit = false;
+  return PrepareInternal(text, strategy, options, &governor, &cache_hit);
+}
+
+Result<Execution> QueryProcessor::Execute(const PreparedQueryPtr& prepared,
+                                          const QueryOptions& options) const {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("Execute on a null PreparedQuery");
+  }
+  ResourceGovernor governor(options);
+  return ExecuteInternal(*prepared, &governor);
 }
 
 Result<Execution> QueryProcessor::Explain(const std::string& text,
@@ -197,7 +340,14 @@ Result<Execution> QueryProcessor::Explain(const std::string& text,
   BRYQL_ASSIGN_OR_RETURN(Query query,
                          ParseQuery(text, ParseLimitsFor(options)));
   ResourceGovernor governor(options);
-  return Prepare(query, strategy, options, &governor);
+  BRYQL_ASSIGN_OR_RETURN(Execution exec,
+                         BuildExecution(query, strategy, options, &governor));
+  if (exec.plan != nullptr) {
+    // EXPLAIN shows the physical plan too — what will actually run.
+    Executor executor(db_, exec_options_, &governor);
+    BRYQL_ASSIGN_OR_RETURN(exec.physical, executor.Lower(exec.plan));
+  }
+  return exec;
 }
 
 }  // namespace bryql

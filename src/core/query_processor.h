@@ -1,14 +1,18 @@
 #ifndef BRYQL_CORE_QUERY_PROCESSOR_H_
 #define BRYQL_CORE_QUERY_PROCESSOR_H_
 
+#include <cstdint>
 #include <string>
 #include <variant>
 
 #include "algebra/expr.h"
+#include "algebra/physical_plan.h"
 #include "calculus/parser.h"
 #include "calculus/views.h"
 #include "common/governor.h"
 #include "common/result.h"
+#include "core/plan_cache.h"
+#include "exec/executor.h"
 #include "exec/stats.h"
 #include "rewrite/rewriter.h"
 #include "storage/database.h"
@@ -55,14 +59,53 @@ struct Execution {
   Query query;
   FormulaPtr canonical;      // null for kNestedLoop on the raw formula
   ExprPtr plan;              // null for kNestedLoop
+  PhysicalPlanPtr physical;  // lowered plan; null for kNestedLoop
   size_t rewrite_steps = 0;
+  /// True when this run reused a cached PreparedQuery and therefore did
+  /// no parse/rewrite/translate/lower work.
+  bool plan_cache_hit = false;
   Answer answer;
   ExecStats stats;
+};
+
+/// A fully prepared query: everything that does not depend on the data —
+/// parse, canonical form, logical plan, lowered physical plan — computed
+/// once and immutable thereafter. Obtained from QueryProcessor::Prepare
+/// and reusable across any number of Execute calls (and across threads:
+/// execution state lives in per-run operator trees, never in the plan).
+struct PreparedQuery {
+  std::string text;
+  Strategy strategy = Strategy::kBry;
+  Query query;
+  FormulaPtr canonical;      // null for kClassical (no canonical phase)
+  ExprPtr plan;              // null for kNestedLoop
+  PhysicalPlanPtr physical;  // null for kNestedLoop
+  size_t rewrite_steps = 0;
+  /// Catalog version the physical plan was lowered against. Execute
+  /// re-lowers (without re-parsing or re-translating) when the catalog
+  /// has moved — access paths may have changed.
+  uint64_t db_version = 0;
+};
+
+/// Preparation-work counters, one per pipeline phase. They advance only
+/// when the corresponding work actually runs, so a plan-cache hit is
+/// observable as a Run that advances none of them.
+struct PrepareCounters {
+  size_t parses = 0;
+  size_t normalizations = 0;
+  size_t translations = 0;
+  size_t lowerings = 0;
 };
 
 /// The two-phase query processor of the paper: normalization into
 /// canonical form (§2) followed by translation into relational algebra
 /// (§3) and evaluation, with pluggable strategies for comparison.
+///
+/// Repeated queries take a prepared fast path: Run consults a bounded LRU
+/// plan cache keyed on (query text, strategy, plan-shaping options), so
+/// the second run of a query skips parse → rewrite → translate → lower
+/// entirely and goes straight to plan instantiation. Prepare/Execute
+/// expose the same split to callers that want to hold on to a plan.
 class QueryProcessor {
  public:
   /// `db` must outlive the processor.
@@ -70,13 +113,29 @@ class QueryProcessor {
 
   /// Registers views (Definition 1); atoms over view names are expanded
   /// before normalization. `views` must outlive the processor.
-  void SetViews(const ViewSet* views) { views_ = views; }
+  /// Invalidates the plan cache (cached plans baked the old expansions in).
+  void SetViews(const ViewSet* views) {
+    views_ = views;
+    cache_.Clear();
+  }
 
   /// Evaluates otherwise-unrestricted queries under the Domain Closure
   /// Assumption (§2.1) by inserting `dom` range atoms where quantified or
   /// target variables lack a range. Off by default: unrestricted queries
-  /// are rejected with kUnsupported.
-  void EnableDomainClosure(bool on = true) { domain_closure_ = on; }
+  /// are rejected with kUnsupported. Invalidates the plan cache.
+  void EnableDomainClosure(bool on = true) {
+    domain_closure_ = on;
+    cache_.Clear();
+  }
+
+  /// Physical execution knobs used by every subsequent Run/Prepare
+  /// (engine mode, join algorithm, batch size, build-side policy).
+  /// Invalidates the plan cache — plans depend on these choices.
+  void SetExecOptions(const ExecOptions& options) {
+    exec_options_ = options;
+    cache_.Clear();
+  }
+  const ExecOptions& exec_options() const { return exec_options_; }
 
   /// Parses and runs `text` under `strategy`, governed by `options`:
   /// parsing honours max_query_bytes / max_formula_depth, normalization
@@ -85,29 +144,73 @@ class QueryProcessor {
   /// surface as kResourceExhausted / kDeadlineExceeded / kCancelled; the
   /// default options impose no deadline and no tuple budgets, only the
   /// structural guards that keep adversarial inputs from crashing.
+  ///
+  /// Preparation is served from the plan cache when possible (see
+  /// Execution::plan_cache_hit); one governor spans all phases either way.
   Result<Execution> Run(const std::string& text,
                         Strategy strategy = Strategy::kBry,
                         const QueryOptions& options = {}) const;
 
   /// Runs an already-parsed query. Parse-phase limits in `options` do not
   /// apply (there is nothing left to parse); max_formula_depth still does.
+  /// Bypasses the plan cache (there is no text to key on).
   Result<Execution> RunQuery(const Query& query,
                              Strategy strategy = Strategy::kBry,
                              const QueryOptions& options = {}) const;
 
-  /// Produces the canonical form and plan without executing (EXPLAIN).
+  /// Produces the canonical form and plans without executing (EXPLAIN).
   Result<Execution> Explain(const std::string& text,
                             Strategy strategy = Strategy::kBry,
                             const QueryOptions& options = {}) const;
 
+  /// Prepares `text` for repeated execution: parse → normalize →
+  /// translate → lower, served from the plan cache when possible. The
+  /// result is immutable and valid indefinitely; Execute revalidates it
+  /// against the catalog version.
+  Result<PreparedQueryPtr> Prepare(const std::string& text,
+                                   Strategy strategy = Strategy::kBry,
+                                   const QueryOptions& options = {}) const;
+
+  /// Executes a prepared query. No parse/rewrite/translate work happens
+  /// here; the lowering is reused too unless the catalog version moved.
+  Result<Execution> Execute(const PreparedQueryPtr& prepared,
+                            const QueryOptions& options = {}) const;
+
+  /// Plan-cache observability (hits / misses / evictions, current size).
+  PlanCacheStats cache_stats() const { return cache_.stats(); }
+  size_t cache_size() const { return cache_.size(); }
+
+  /// Drops every cached plan; the next Run/Prepare of any query pays the
+  /// full preparation pipeline again. Counters in cache_stats() survive.
+  void ClearPlanCache() const { cache_.Clear(); }
+
+  /// Phase-work counters since construction (not thread-safe — meant for
+  /// single-threaded tests asserting "the second run did zero work").
+  const PrepareCounters& prepare_counters() const {
+    return prepare_counters_;
+  }
+
  private:
-  Result<Execution> Prepare(const Query& query, Strategy strategy,
-                            const QueryOptions& options,
-                            ResourceGovernor* governor) const;
+  /// Normalization + translation on a parsed query (no cache, no parse).
+  Result<Execution> BuildExecution(const Query& query, Strategy strategy,
+                                   const QueryOptions& options,
+                                   ResourceGovernor* governor) const;
+  Result<PreparedQueryPtr> PrepareInternal(const std::string& text,
+                                           Strategy strategy,
+                                           const QueryOptions& options,
+                                           ResourceGovernor* governor,
+                                           bool* cache_hit) const;
+  Result<Execution> ExecuteInternal(const PreparedQuery& prepared,
+                                    ResourceGovernor* governor) const;
+  std::string CacheKey(const std::string& text, Strategy strategy,
+                       const QueryOptions& options) const;
 
   const Database* db_;
   const ViewSet* views_ = nullptr;
   bool domain_closure_ = false;
+  ExecOptions exec_options_;
+  mutable PlanCache cache_;
+  mutable PrepareCounters prepare_counters_;
 };
 
 }  // namespace bryql

@@ -2,6 +2,8 @@
 #define BRYQL_EXEC_EXECUTOR_H_
 
 #include "algebra/expr.h"
+#include "algebra/physical_plan.h"
+#include "common/batch.h"
 #include "common/governor.h"
 #include "common/result.h"
 #include "exec/stats.h"
@@ -12,7 +14,7 @@ namespace bryql {
 /// Physical execution knobs.
 struct ExecOptions {
   enum class JoinAlgorithm {
-    /// Hash build + probe (default): streams the left side.
+    /// Hash build + probe (default): streams the probe side.
     kHash,
     /// Classic sort-merge, the algorithm family of the paper's era.
     /// Materializes both sides; same results, different cost profile
@@ -20,27 +22,51 @@ struct ExecOptions {
     kSortMerge,
   };
   JoinAlgorithm join_algorithm = JoinAlgorithm::kHash;
+
+  enum class Mode {
+    /// Lower to a physical plan and run batched operators (default).
+    kBatched,
+    /// The original volcano engine: one virtual call per tuple. Kept as
+    /// the differential-testing baseline and for measuring what batching
+    /// buys.
+    kTupleAtATime,
+  };
+  Mode mode = Mode::kBatched;
+
+  /// Tuples per NextBatch transfer in batched mode. 1 degrades to
+  /// tuple-at-a-time data flow (but still through the physical layer).
+  size_t batch_size = kDefaultBatchSize;
+
+  /// Let the lowering's cost model put the smaller input of an inner hash
+  /// join on the build side. Off means conventional build-right always.
+  bool cost_based_build_side = true;
 };
 
 /// Evaluates algebra expressions over a database.
 ///
-/// The engine is a streaming (volcano-style) evaluator: unary operators and
-/// the probe side of join-family operators are pipelined; build sides of
-/// joins, dedup sets, divisions and set operations materialize. This is
-/// exactly the paper's stance in §3.2 — "algebraic operations are amenable
-/// to pipelining without imposing this technique, nor requiring to perform
-/// it on the whole of the query". Non-emptiness tests (closed queries) pull
-/// at most one tuple from their input and therefore stop at the first
-/// witness.
+/// Since the physical-layer split, the Executor is a thin facade over
+/// three pieces:
+///
+///   * src/exec/lowering — compiles the logical Expr tree into a
+///     PhysicalPlan (access paths, join algorithm, build side);
+///   * src/exec/physical — batched Open/NextBatch/Close operators and the
+///     PlanRuntime that instantiates plans (default mode);
+///   * src/exec/volcano — the original tuple-at-a-time engine
+///     (Mode::kTupleAtATime), kept bit-compatible in results, counters
+///     and governor behaviour for differential testing.
+///
+/// Both engines implement the paper's stance in §3.2 — unary operators
+/// and probe sides pipeline, build sides and divisions materialize, and
+/// non-emptiness tests (closed queries) pull at most one tuple and stop
+/// at the first witness.
 ///
 /// Resource governance: every base-relation read and every intermediate
 /// materialization is admitted through the ResourceGovernor, operator
 /// opens poll the deadline/cancellation, and the inner loops of
 /// join-family and product operators tick it so plans that filter
 /// everything out still honour the deadline. When the governor trips, the
-/// iterator pipeline stops and the evaluation returns the governor's
-/// Status (kResourceExhausted / kDeadlineExceeded / kCancelled) instead
-/// of a partial answer.
+/// evaluation returns the governor's Status (kResourceExhausted /
+/// kDeadlineExceeded / kCancelled) instead of a partial answer.
 class Executor {
  public:
   /// `db` must outlive the executor. `governor` is borrowed and may be
@@ -62,10 +88,24 @@ class Executor {
   /// NonEmpty stops at the first witness tuple.
   Result<bool> EvaluateBool(const ExprPtr& expr);
 
+  /// Lowers `expr` to a physical plan under this executor's options
+  /// without running it (validates shape and depth like Evaluate). The
+  /// plan is immutable and reusable — see LowerPlan.
+  Result<PhysicalPlanPtr> Lower(const ExprPtr& expr) const;
+
+  /// Runs an already-lowered plan. This is the prepared-query fast path:
+  /// parse/rewrite/translate/lower all happened when the plan was made.
+  Result<Relation> ExecutePhysical(const PhysicalPlanPtr& plan);
+
+  /// Boolean counterpart of ExecutePhysical (plan arity must be 0).
+  Result<bool> ExecutePhysicalBool(const PhysicalPlanPtr& plan);
+
   const ExecStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ExecStats(); }
 
  private:
+  Status CheckDepth(const ExprPtr& expr) const;
+
   const Database* db_;
   ExecOptions options_;
   ExecStats stats_;

@@ -1,0 +1,42 @@
+#ifndef BRYQL_EXEC_LOWERING_H_
+#define BRYQL_EXEC_LOWERING_H_
+
+#include "algebra/expr.h"
+#include "algebra/physical_plan.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "storage/database.h"
+
+namespace bryql {
+
+/// Lowers a logical algebra expression to an executable physical plan.
+///
+/// This is the layer where decisions the volcano engine made implicitly,
+/// per tuple, at evaluation time become explicit, inspectable plan
+/// structure, made once:
+///
+///   * access paths — σ_{col=value}(scan) over an indexed column becomes
+///     an IndexScan with the remaining conjuncts as a residual filter;
+///   * join algorithm — the whole join family (inner, semi,
+///     complement/anti, outer, mark) lowers to HashJoin or SortMergeJoin
+///     per ExecOptions::join_algorithm, and difference/intersection lower
+///     to whole-tuple-key semi/anti joins of the same family;
+///   * build-side placement — inner hash joins build on whichever input
+///     the cost model estimates smaller (ExecOptions::cost_based_build_side);
+///   * cost annotations — every node carries the cost model's row/cost
+///     estimates, surfaced by the physical EXPLAIN.
+///
+/// The resulting plan is immutable and holds no catalog pointers (base
+/// relations are referenced by name), so it can live in a plan cache and
+/// be instantiated against the database many times by PlanRuntime.
+///
+/// Validation matches Executor::Evaluate: `expr` must be well-formed
+/// (Expr::Arity succeeds on every node); depth limits are the caller's
+/// concern because they are a property of the governor, not the plan.
+Result<PhysicalPlanPtr> LowerPlan(const Database& db,
+                                  const ExecOptions& options,
+                                  const ExprPtr& expr);
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_LOWERING_H_

@@ -1,0 +1,95 @@
+#ifndef BRYQL_EXEC_PHYSICAL_DIVISION_H_
+#define BRYQL_EXEC_PHYSICAL_DIVISION_H_
+
+#include <utility>
+
+#include "exec/physical/operator.h"
+#include "storage/relation.h"
+
+namespace bryql {
+
+/// Streams a blocking operator's precomputed result relation. Division,
+/// per-group division and group-count all fully compute at Open and share
+/// this output path.
+class BlockingResultOp : public PhysicalOperator {
+ public:
+  Status NextBatch(TupleBatch* out) final;
+  void Close() override {}
+
+ protected:
+  BlockingResultOp() : result_(0) {}
+  Relation result_;
+
+ private:
+  size_t index_ = 0;
+};
+
+/// dividend ÷ divisor (the paper's one-shot division strategy): tuples
+/// over the first p−q columns paired in the dividend with *every* divisor
+/// tuple. An empty divisor divides trivially — the result is the
+/// projection of the dividend.
+class DivisionOp : public BlockingResultOp {
+ public:
+  DivisionOp(PhysicalOpPtr left, PhysicalOpPtr right, size_t left_arity,
+             size_t right_arity, PhysicalContext ctx)
+      : left_(std::move(left)), right_(std::move(right)),
+        left_arity_(left_arity), right_arity_(right_arity), ctx_(ctx) {}
+  Status Open() override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  size_t left_arity_;
+  size_t right_arity_;
+  PhysicalContext ctx_;
+};
+
+/// Per-group division: the divisor is grouped by its leading
+/// `group_arity` columns; a (keep, group) pair of the dividend qualifies
+/// when it pairs with *every* value of its group. Groups absent from the
+/// divisor produce nothing (the translator adds the vacuous-truth guard
+/// itself).
+class GroupDivisionOp : public BlockingResultOp {
+ public:
+  GroupDivisionOp(PhysicalOpPtr left, PhysicalOpPtr right, size_t left_arity,
+                  size_t right_arity, size_t group_arity, PhysicalContext ctx)
+      : left_(std::move(left)), right_(std::move(right)),
+        left_arity_(left_arity), right_arity_(right_arity),
+        group_arity_(group_arity), ctx_(ctx) {}
+  Status Open() override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  size_t left_arity_;
+  size_t right_arity_;
+  size_t group_arity_;
+  PhysicalContext ctx_;
+};
+
+/// γ: per-group row counts (set semantics — input rows are already
+/// distinct), the workhorse of the QUEL-style counting strategy.
+class GroupCountOp : public BlockingResultOp {
+ public:
+  GroupCountOp(PhysicalOpPtr child, size_t group_arity, PhysicalContext ctx)
+      : child_(std::move(child)), group_arity_(group_arity), ctx_(ctx) {}
+  Status Open() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  PhysicalOpPtr child_;
+  size_t group_arity_;
+  PhysicalContext ctx_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_PHYSICAL_DIVISION_H_

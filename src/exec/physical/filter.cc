@@ -1,0 +1,50 @@
+#include "exec/physical/filter.h"
+
+namespace bryql {
+
+Status FilterOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    if (pos_ >= in_.size()) {
+      in_.set_capacity(out->capacity());
+      BRYQL_RETURN_NOT_OK(child_->NextBatch(&in_));
+      if (in_.empty()) break;
+      pos_ = 0;
+    }
+    while (pos_ < in_.size() && !out->full()) {
+      Tuple& t = in_[pos_++];
+      if (!ctx_.governor->Tick()) return ctx_.governor->status();
+      if (predicate_->Eval(t, &ctx_.stats->comparisons)) {
+        // Copy, not move: both the input slot and the output slot keep
+        // their storage warm.
+        *out->AddSlot() = t;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProjectOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    if (pos_ >= in_.size()) {
+      in_.set_capacity(out->capacity());
+      BRYQL_RETURN_NOT_OK(child_->NextBatch(&in_));
+      if (in_.empty()) break;
+      pos_ = 0;
+    }
+    while (pos_ < in_.size() && !out->full()) {
+      Tuple projected = in_[pos_++].Project(columns_);
+      if (seen_.insert(projected).second) {
+        if (!ctx_.governor->AdmitMaterialize()) return ctx_.governor->status();
+        ++ctx_.stats->tuples_materialized;
+        out->Add(std::move(projected));
+      } else if (!ctx_.governor->Tick()) {
+        return ctx_.governor->status();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace bryql

@@ -1,0 +1,205 @@
+#include "exec/physical/hash_join.h"
+
+namespace bryql {
+
+Status ProductOp::Open() {
+  BRYQL_RETURN_NOT_OK(left_->Open());
+  BRYQL_RETURN_NOT_OK(right_op_->Open());
+  return DrainToRelation(right_op_.get(), right_.arity(), ctx_, &right_);
+}
+
+Status ProductOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (!out->full() && !left_done_) {
+    // A product's output is quadratic in its inputs; every combination
+    // ticks so deadlines bite inside the loop.
+    if (!ctx_.governor->Tick()) return ctx_.governor->status();
+    if (right_index_ == 0) {
+      bool have = false;
+      BRYQL_RETURN_NOT_OK(
+          cursor_.Next(&current_left_, &have, out->capacity()));
+      if (!have) {
+        left_done_ = true;
+        break;
+      }
+    }
+    if (right_index_ < right_.rows().size()) {
+      out->Add(current_left_.Concat(right_.rows()[right_index_++]));
+      if (right_index_ == right_.rows().size()) right_index_ = 0;
+      continue;
+    }
+    right_index_ = 0;
+    if (right_.rows().empty()) {
+      left_done_ = true;
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+HashJoinOp::HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
+                       std::vector<JoinKey> keys, JoinVariant variant,
+                       PredicatePtr predicate, bool build_left,
+                       size_t pad_arity, PhysicalContext ctx)
+    : left_(std::move(left)), right_(std::move(right)),
+      keys_(std::move(keys)), variant_(variant),
+      predicate_(std::move(predicate)), build_left_(build_left),
+      pad_arity_(pad_arity), ctx_(ctx),
+      probe_cursor_(build_left ? right_.get() : left_.get()) {}
+
+Status HashJoinOp::Open() {
+  // The probe side opens first, the build side is drained second —
+  // the same order the volcano engine constructs its iterator tree in,
+  // so nested blocking edges admit resources in the same sequence.
+  PhysicalOperator* probe = build_left_ ? right_.get() : left_.get();
+  PhysicalOperator* build = build_left_ ? left_.get() : right_.get();
+  BRYQL_RETURN_NOT_OK(probe->Open());
+  BRYQL_RETURN_NOT_OK(build->Open());
+  switch (variant_) {
+    case JoinVariant::kInner:
+    case JoinVariant::kLeftOuter:
+      return DrainToTable(build, keys_, /*keys_left=*/build_left_, ctx_,
+                          &table_);
+    case JoinVariant::kSemi:
+    case JoinVariant::kAnti:
+    case JoinVariant::kMark:
+      return DrainToKeySet(build, keys_, /*keys_left=*/build_left_, ctx_,
+                           &key_set_);
+  }
+  return Status::Internal("unknown join variant");
+}
+
+Status HashJoinOp::NextBatch(TupleBatch* out) {
+  out->Clear();
+  switch (variant_) {
+    case JoinVariant::kInner:
+      return NextInner(out);
+    case JoinVariant::kSemi:
+    case JoinVariant::kAnti:
+      return NextSemiAnti(out);
+    case JoinVariant::kLeftOuter:
+      return NextOuter(out);
+    case JoinVariant::kMark:
+      return NextMark(out);
+  }
+  return Status::Internal("unknown join variant");
+}
+
+Status HashJoinOp::NextInner(TupleBatch* out) {
+  while (!out->full() && !probe_done_) {
+    if (!ctx_.governor->Tick()) return ctx_.governor->status();
+    if (matches_ != nullptr && match_index_ < matches_->size()) {
+      const Tuple& partner = (*matches_)[match_index_++];
+      // Output columns are always left ++ right, whichever side built.
+      Tuple candidate = build_left_ ? partner.Concat(current_probe_)
+                                    : current_probe_.Concat(partner);
+      if (predicate_ == nullptr ||
+          predicate_->Eval(candidate, &ctx_.stats->comparisons)) {
+        out->Add(std::move(candidate));
+      }
+      continue;
+    }
+    matches_ = nullptr;
+    bool have = false;
+    BRYQL_RETURN_NOT_OK(
+        probe_cursor_.Next(&current_probe_, &have, out->capacity()));
+    if (!have) {
+      probe_done_ = true;
+      break;
+    }
+    ++ctx_.stats->hash_probes;
+    ctx_.stats->comparisons += keys_.size();
+    auto it = table_.find(JoinKeyOf(current_probe_, keys_,
+                                    /*left=*/!build_left_));
+    if (it != table_.end()) {
+      matches_ = &it->second;
+      match_index_ = 0;
+    }
+  }
+  return Status::Ok();
+}
+
+Status HashJoinOp::NextSemiAnti(TupleBatch* out) {
+  while (!out->full() && !probe_done_) {
+    bool have = false;
+    BRYQL_RETURN_NOT_OK(
+        probe_cursor_.Next(&current_probe_, &have, out->capacity()));
+    if (!have) {
+      probe_done_ = true;
+      break;
+    }
+    ++ctx_.stats->hash_probes;
+    ctx_.stats->comparisons += keys_.size();
+    bool found =
+        key_set_.count(JoinKeyOf(current_probe_, keys_, /*left=*/true)) != 0;
+    if (found != (variant_ == JoinVariant::kAnti)) {
+      *out->AddSlot() = current_probe_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status HashJoinOp::NextOuter(TupleBatch* out) {
+  while (!out->full() && !probe_done_) {
+    if (matches_ != nullptr && match_index_ < matches_->size()) {
+      out->Add(current_probe_.Concat((*matches_)[match_index_++]));
+      continue;
+    }
+    matches_ = nullptr;
+    bool have = false;
+    BRYQL_RETURN_NOT_OK(
+        probe_cursor_.Next(&current_probe_, &have, out->capacity()));
+    if (!have) {
+      probe_done_ = true;
+      break;
+    }
+    // Definition 7 constraint: rows failing it are not probed and pad
+    // directly with ∅.
+    if (predicate_ != nullptr &&
+        !predicate_->Eval(current_probe_, &ctx_.stats->comparisons)) {
+      out->Add(PadWithNulls(current_probe_));
+      continue;
+    }
+    ++ctx_.stats->hash_probes;
+    ctx_.stats->comparisons += keys_.size();
+    auto it = table_.find(JoinKeyOf(current_probe_, keys_, /*left=*/true));
+    if (it != table_.end()) {
+      matches_ = &it->second;
+      match_index_ = 0;
+      continue;
+    }
+    out->Add(PadWithNulls(current_probe_));
+  }
+  return Status::Ok();
+}
+
+Status HashJoinOp::NextMark(TupleBatch* out) {
+  while (!out->full() && !probe_done_) {
+    bool have = false;
+    BRYQL_RETURN_NOT_OK(
+        probe_cursor_.Next(&current_probe_, &have, out->capacity()));
+    if (!have) {
+      probe_done_ = true;
+      break;
+    }
+    bool marked = false;
+    if (predicate_ == nullptr ||
+        predicate_->Eval(current_probe_, &ctx_.stats->comparisons)) {
+      ++ctx_.stats->hash_probes;
+      ctx_.stats->comparisons += keys_.size();
+      marked = key_set_.count(JoinKeyOf(current_probe_, keys_,
+                                        /*left=*/true)) != 0;
+    }
+    current_probe_.Append(marked ? Value::Mark() : Value::Null());
+    *out->AddSlot() = current_probe_;
+  }
+  return Status::Ok();
+}
+
+Tuple HashJoinOp::PadWithNulls(const Tuple& t) const {
+  Tuple padded = t;
+  for (size_t i = 0; i < pad_arity_; ++i) padded.Append(Value::Null());
+  return padded;
+}
+
+}  // namespace bryql

@@ -1,0 +1,80 @@
+#include "exec/physical/operator.h"
+
+#include "common/failpoints.h"
+
+namespace bryql {
+
+Status DrainToRelation(PhysicalOperator* child, size_t arity,
+                       const PhysicalContext& ctx, Relation* out) {
+  *out = Relation(arity);
+  TupleBatch batch(ctx.batch_size);
+  while (true) {
+    BRYQL_RETURN_NOT_OK(child->NextBatch(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      BRYQL_FAILPOINT("exec.materialize.insert");
+      if (!ctx.governor->AdmitMaterialize()) return ctx.governor->status();
+      BRYQL_ASSIGN_OR_RETURN(bool fresh, out->Insert(batch[i]));
+      if (fresh) ++ctx.stats->tuples_materialized;
+    }
+  }
+  return ctx.governor->status();
+}
+
+Status DrainToTable(PhysicalOperator* child, const std::vector<JoinKey>& keys,
+                    bool keys_left, const PhysicalContext& ctx,
+                    TupleMultiMap* out) {
+  TupleBatch batch(ctx.batch_size);
+  while (true) {
+    BRYQL_RETURN_NOT_OK(child->NextBatch(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      BRYQL_FAILPOINT("exec.hash.insert");
+      if (!ctx.governor->AdmitMaterialize()) return ctx.governor->status();
+      ++ctx.stats->tuples_materialized;
+      (*out)[JoinKeyOf(batch[i], keys, keys_left)].push_back(batch[i]);
+    }
+  }
+  return ctx.governor->status();
+}
+
+Status DrainToKeySet(PhysicalOperator* child, const std::vector<JoinKey>& keys,
+                     bool keys_left, const PhysicalContext& ctx,
+                     TupleSet* out) {
+  TupleBatch batch(ctx.batch_size);
+  while (true) {
+    BRYQL_RETURN_NOT_OK(child->NextBatch(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      BRYQL_FAILPOINT("exec.hash.insert");
+      if (out->insert(JoinKeyOf(batch[i], keys, keys_left)).second) {
+        if (!ctx.governor->AdmitMaterialize()) return ctx.governor->status();
+        ++ctx.stats->tuples_materialized;
+      } else if (!ctx.governor->Tick()) {
+        return ctx.governor->status();
+      }
+    }
+  }
+  return ctx.governor->status();
+}
+
+Status DrainToSet(PhysicalOperator* child, const PhysicalContext& ctx,
+                  TupleSet* out) {
+  TupleBatch batch(ctx.batch_size);
+  while (true) {
+    BRYQL_RETURN_NOT_OK(child->NextBatch(&batch));
+    if (batch.empty()) break;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      BRYQL_FAILPOINT("exec.materialize.insert");
+      if (out->insert(batch[i]).second) {
+        if (!ctx.governor->AdmitMaterialize()) return ctx.governor->status();
+        ++ctx.stats->tuples_materialized;
+      } else if (!ctx.governor->Tick()) {
+        return ctx.governor->status();
+      }
+    }
+  }
+  return ctx.governor->status();
+}
+
+}  // namespace bryql

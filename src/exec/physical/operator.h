@@ -1,0 +1,135 @@
+#ifndef BRYQL_EXEC_PHYSICAL_OPERATOR_H_
+#define BRYQL_EXEC_PHYSICAL_OPERATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "algebra/expr.h"  // JoinKey
+#include "common/batch.h"
+#include "common/governor.h"
+#include "common/result.h"
+#include "exec/stats.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace bryql {
+
+/// Per-run context shared by every operator of one instantiated plan:
+/// catalog, counters, the run's ResourceGovernor, and the configured batch
+/// size. Plain borrowed pointers — the runtime driving the plan owns (or
+/// outlives) all of them.
+struct PhysicalContext {
+  const Database* db = nullptr;
+  ExecStats* stats = nullptr;
+  ResourceGovernor* governor = nullptr;
+  size_t batch_size = kDefaultBatchSize;
+};
+
+/// A physical operator instance: runtime state for one PhysicalNode of a
+/// lowered plan. Operators move data in batches instead of one virtual
+/// call per tuple:
+///
+///   Open()      — acquire inputs, build state (hash tables, sorted runs,
+///                 division groups); opens children first.
+///   NextBatch() — clear `out`, fill it with up to out->capacity() tuples.
+///                 An OK status with an *empty* batch means exhausted.
+///                 Operators honour the requested capacity and request no
+///                 more than that from their children, so a capacity-1
+///                 pull (the non-emptiness test) keeps the volcano
+///                 engine's first-witness guarantees.
+///   Close()     — release state; optional.
+///
+/// Resource governance mirrors the volcano engine admission-for-admission:
+/// base reads pass AdmitScan, intermediate insertions AdmitMaterialize,
+/// and inner loops Tick. Because NextBatch returns Status (unlike the
+/// bool-returning volcano Next), a tripped governor surfaces directly as
+/// the governor's latched Status instead of masquerading as exhaustion.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+  virtual Status Open() = 0;
+  virtual Status NextBatch(TupleBatch* out) = 0;
+  virtual void Close() {}
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+using TupleMultiMap = std::unordered_map<Tuple, std::vector<Tuple>, TupleHash>;
+
+/// The key columns of `t` for one side of an equi-join ("i = j" in the
+/// paper's conj notation).
+inline Tuple JoinKeyOf(const Tuple& t, const std::vector<JoinKey>& keys,
+                       bool left) {
+  std::vector<Value> values;
+  values.reserve(keys.size());
+  for (const JoinKey& k : keys) values.push_back(t.at(left ? k.left : k.right));
+  return Tuple(std::move(values));
+}
+
+/// Adapts a batched child to one-tuple-at-a-time pulls, buffering one
+/// batch internally. `capacity` is forwarded to the child per refill, so a
+/// capacity-1 consumer induces capacity-1 pulls all the way down.
+class BatchCursor {
+ public:
+  explicit BatchCursor(PhysicalOperator* child) : child_(child), buf_(1) {}
+
+  /// Fetches the next tuple into `*out`; `*have` is false at exhaustion.
+  Status Next(Tuple* out, bool* have, size_t capacity) {
+    if (pos_ >= buf_.size()) {
+      buf_.set_capacity(capacity);
+      BRYQL_RETURN_NOT_OK(child_->NextBatch(&buf_));
+      pos_ = 0;
+      if (buf_.empty()) {
+        *have = false;
+        return Status::Ok();
+      }
+    }
+    // Copy-assign, not move: the slot keeps its storage for the next
+    // refill and `*out` (a long-lived caller buffer) reuses its own, so
+    // the steady-state pull is allocation-free.
+    *out = buf_[pos_++];
+    *have = true;
+    return Status::Ok();
+  }
+
+ private:
+  PhysicalOperator* child_;
+  TupleBatch buf_;
+  size_t pos_ = 0;
+};
+
+/// Drain helpers used by blocking edges of a plan (hash builds, sort
+/// inputs, division inputs). Each mirrors the volcano engine's admission
+/// and fault-injection pattern for the same edge, so batched and
+/// tuple-at-a-time runs trip the governor on the same tuple.
+
+/// Fully drains `child` into a relation: every tuple is admitted as a
+/// materialization, fresh insertions are counted ("exec.materialize.insert"
+/// failpoint).
+Status DrainToRelation(PhysicalOperator* child, size_t arity,
+                       const PhysicalContext& ctx, Relation* out);
+
+/// Drains `child` into a hash multimap keyed on the right-side join key.
+/// Every tuple is admitted and counted ("exec.hash.insert" failpoint) —
+/// a hash build keeps duplicates as partner values.
+Status DrainToTable(PhysicalOperator* child, const std::vector<JoinKey>& keys,
+                    bool keys_left, const PhysicalContext& ctx,
+                    TupleMultiMap* out);
+
+/// Drains `child` into a set of join keys: fresh keys are admitted and
+/// counted, duplicates only tick ("exec.hash.insert" failpoint).
+Status DrainToKeySet(PhysicalOperator* child, const std::vector<JoinKey>& keys,
+                     bool keys_left, const PhysicalContext& ctx,
+                     TupleSet* out);
+
+/// Drains `child` into a set of whole tuples: fresh tuples are admitted
+/// and counted, duplicates only tick ("exec.materialize.insert" failpoint).
+Status DrainToSet(PhysicalOperator* child, const PhysicalContext& ctx,
+                  TupleSet* out);
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_PHYSICAL_OPERATOR_H_

@@ -1,0 +1,262 @@
+#include "exec/physical/runtime.h"
+
+#include <chrono>
+#include <utility>
+
+#include "algebra/predicate.h"
+#include "common/failpoints.h"
+#include "exec/physical/division.h"
+#include "exec/physical/filter.h"
+#include "exec/physical/hash_join.h"
+#include "exec/physical/scan.h"
+#include "exec/physical/set_ops.h"
+#include "exec/physical/sort_merge_join.h"
+
+namespace bryql {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Decorator feeding ExecStats::operator_stats. It holds an *index* into
+/// the vector, not a pointer — the vector grows while the plan is being
+/// instantiated.
+class TimedOp : public PhysicalOperator {
+ public:
+  TimedOp(PhysicalOpPtr inner, ExecStats* stats, size_t index)
+      : inner_(std::move(inner)), stats_(stats), index_(index) {}
+  Status Open() override {
+    const uint64_t start = NowNs();
+    Status status = inner_->Open();
+    stats_->operator_stats[index_].open_ns += NowNs() - start;
+    return status;
+  }
+  Status NextBatch(TupleBatch* out) override {
+    const uint64_t start = NowNs();
+    Status status = inner_->NextBatch(out);
+    OperatorStats& os = stats_->operator_stats[index_];
+    os.next_ns += NowNs() - start;
+    ++os.batches;
+    os.rows += out->size();
+    return status;
+  }
+  void Close() override { inner_->Close(); }
+
+ private:
+  PhysicalOpPtr inner_;
+  ExecStats* stats_;
+  size_t index_;
+};
+
+}  // namespace
+
+Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
+                                         size_t depth) {
+  // Operator instantiation: fault-injection site, plan-depth admission,
+  // and a deadline/cancellation poll before any child work starts — the
+  // same protocol as the volcano engine's iterator construction.
+  BRYQL_FAILPOINT("exec.iterator.open");
+  GovernorDepthGuard depth_guard(ctx_.governor);
+  if (!depth_guard.ok()) return ctx_.governor->status();
+  BRYQL_RETURN_NOT_OK(ctx_.governor->CheckNow());
+  ++ctx_.stats->operators;
+  const size_t op_index = ctx_.stats->operator_stats.size();
+  ctx_.stats->operator_stats.push_back(
+      OperatorStats{node->Label(), depth, 0, 0, 0, 0});
+
+  PhysicalOpPtr op;
+  switch (node->kind) {
+    case PhysicalKind::kTableScan: {
+      BRYQL_FAILPOINT("exec.scan.open");
+      BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
+                             ctx_.db->Get(node->relation_name));
+      op = PhysicalOpPtr(new TableScanOp(&rel->rows(), ctx_));
+      break;
+    }
+    case PhysicalKind::kLiteralScan: {
+      op = PhysicalOpPtr(new TableScanOp(&node->literal->rows(), ctx_));
+      break;
+    }
+    case PhysicalKind::kIndexScan: {
+      BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
+                             ctx_.db->Get(node->relation_name));
+      if (!rel->HasIndex(node->index_column)) {
+        // The index the plan was lowered against no longer exists (the
+        // plan is stale, e.g. cached across a catalog change). Recover by
+        // re-applying the full selection over a table scan.
+        std::vector<PredicatePtr> parts;
+        parts.push_back(Predicate::ColVal(CompareOp::kEq, node->index_column,
+                                          node->index_value));
+        if (node->predicate != nullptr) parts.push_back(node->predicate);
+        PredicatePtr full = parts.size() == 1 ? std::move(parts[0])
+                                              : Predicate::And(std::move(parts));
+        PhysicalOpPtr scan(new TableScanOp(&rel->rows(), ctx_));
+        op = PhysicalOpPtr(
+            new FilterOp(std::move(scan), std::move(full), ctx_));
+        break;
+      }
+      ++ctx_.stats->hash_probes;
+      op = PhysicalOpPtr(new IndexScanOp(
+          rel, &rel->Matches(node->index_column, node->index_value),
+          node->predicate, ctx_));
+      break;
+    }
+    case PhysicalKind::kFilter: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                             Build(node->children[0], depth + 1));
+      op = PhysicalOpPtr(
+          new FilterOp(std::move(child), node->predicate, ctx_));
+      break;
+    }
+    case PhysicalKind::kProject: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                             Build(node->children[0], depth + 1));
+      op = PhysicalOpPtr(
+          new ProjectOp(std::move(child), node->columns, ctx_));
+      break;
+    }
+    case PhysicalKind::kProduct: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                             Build(node->children[0], depth + 1));
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                             Build(node->children[1], depth + 1));
+      op = PhysicalOpPtr(new ProductOp(std::move(left), std::move(right),
+                                       node->children[1]->arity, ctx_));
+      break;
+    }
+    case PhysicalKind::kHashJoin: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                             Build(node->children[0], depth + 1));
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                             Build(node->children[1], depth + 1));
+      op = PhysicalOpPtr(new HashJoinOp(
+          std::move(left), std::move(right), node->keys, node->variant,
+          node->predicate, node->build_left, node->pad_arity, ctx_));
+      break;
+    }
+    case PhysicalKind::kSortMergeJoin: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                             Build(node->children[0], depth + 1));
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                             Build(node->children[1], depth + 1));
+      op = PhysicalOpPtr(new SortMergeJoinOp(
+          std::move(left), std::move(right), node->children[0]->arity,
+          node->children[1]->arity, node->keys, node->variant,
+          node->predicate, ctx_));
+      break;
+    }
+    case PhysicalKind::kDivision: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                             Build(node->children[0], depth + 1));
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                             Build(node->children[1], depth + 1));
+      op = PhysicalOpPtr(new DivisionOp(std::move(left), std::move(right),
+                                        node->children[0]->arity,
+                                        node->children[1]->arity, ctx_));
+      break;
+    }
+    case PhysicalKind::kGroupDivision: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                             Build(node->children[0], depth + 1));
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                             Build(node->children[1], depth + 1));
+      op = PhysicalOpPtr(new GroupDivisionOp(
+          std::move(left), std::move(right), node->children[0]->arity,
+          node->children[1]->arity, node->group_arity, ctx_));
+      break;
+    }
+    case PhysicalKind::kGroupCount: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                             Build(node->children[0], depth + 1));
+      op = PhysicalOpPtr(
+          new GroupCountOp(std::move(child), node->group_arity, ctx_));
+      break;
+    }
+    case PhysicalKind::kUnion: {
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
+                             Build(node->children[0], depth + 1));
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
+                             Build(node->children[1], depth + 1));
+      op = PhysicalOpPtr(
+          new UnionOp(std::move(left), std::move(right), ctx_));
+      break;
+    }
+    case PhysicalKind::kNonEmpty:
+    case PhysicalKind::kBoolNot:
+    case PhysicalKind::kBoolAnd:
+    case PhysicalKind::kBoolOr: {
+      // A boolean subtree in relational context evaluates to the 0-ary
+      // relation {()} (true) or {} (false).
+      BRYQL_ASSIGN_OR_RETURN(bool value, RunBool(node));
+      Relation rel(0);
+      if (value) {
+        BRYQL_RETURN_NOT_OK(rel.Insert(Tuple{}).status());
+      }
+      op = PhysicalOpPtr(new RelationSourceOp(std::move(rel)));
+      break;
+    }
+  }
+  if (op == nullptr) return Status::Internal("unknown physical kind");
+  return PhysicalOpPtr(new TimedOp(std::move(op), ctx_.stats, op_index));
+}
+
+Result<Relation> PlanRuntime::Run(const PhysicalPlanPtr& plan) {
+  BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr op, Build(plan, 0));
+  BRYQL_RETURN_NOT_OK(op->Open());
+  Relation rel(plan->arity);
+  Status drained = DrainToRelation(op.get(), plan->arity, ctx_, &rel);
+  op->Close();
+  BRYQL_RETURN_NOT_OK(drained);
+  return rel;
+}
+
+Result<bool> PlanRuntime::RunBool(const PhysicalPlanPtr& plan) {
+  switch (plan->kind) {
+    case PhysicalKind::kNonEmpty: {
+      // The paper's non-emptiness test: pull a single witness.
+      BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr op,
+                             Build(plan->children[0], 0));
+      BRYQL_RETURN_NOT_OK(op->Open());
+      TupleBatch batch(1);
+      Status status = op->NextBatch(&batch);
+      op->Close();
+      BRYQL_RETURN_NOT_OK(status);
+      // A tripped governor must not masquerade as "empty".
+      BRYQL_RETURN_NOT_OK(ctx_.governor->status());
+      return !batch.empty();
+    }
+    case PhysicalKind::kBoolNot: {
+      BRYQL_ASSIGN_OR_RETURN(bool v, RunBool(plan->children[0]));
+      return !v;
+    }
+    case PhysicalKind::kBoolAnd: {
+      for (const PhysicalPlanPtr& child : plan->children) {
+        BRYQL_ASSIGN_OR_RETURN(bool v, RunBool(child));
+        if (!v) return false;  // short-circuit
+      }
+      return true;
+    }
+    case PhysicalKind::kBoolOr: {
+      for (const PhysicalPlanPtr& child : plan->children) {
+        BRYQL_ASSIGN_OR_RETURN(bool v, RunBool(child));
+        if (v) return true;  // short-circuit
+      }
+      return false;
+    }
+    default: {
+      if (plan->arity != 0) {
+        return Status::InvalidArgument(
+            "boolean evaluation of a plan of arity " +
+            std::to_string(plan->arity));
+      }
+      BRYQL_ASSIGN_OR_RETURN(Relation rel, Run(plan));
+      return !rel.empty();
+    }
+  }
+}
+
+}  // namespace bryql

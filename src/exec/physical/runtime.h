@@ -1,0 +1,46 @@
+#ifndef BRYQL_EXEC_PHYSICAL_RUNTIME_H_
+#define BRYQL_EXEC_PHYSICAL_RUNTIME_H_
+
+#include "algebra/physical_plan.h"
+#include "common/batch.h"
+#include "common/governor.h"
+#include "common/result.h"
+#include "exec/physical/operator.h"
+#include "exec/stats.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace bryql {
+
+/// Instantiates a lowered PhysicalNode tree into a fresh operator tree and
+/// drives it. A PlanRuntime is per-run state: the same (cached) plan can be
+/// handed to many runtimes, each with its own governor and stats sink.
+///
+/// Instantiation mirrors the volcano engine's iterator construction: the
+/// "exec.iterator.open" failpoint and a plan-depth admission fire per node,
+/// "exec.scan.open" per base-table scan, and every operator is wrapped in a
+/// timing decorator feeding ExecStats::operator_stats.
+class PlanRuntime {
+ public:
+  PlanRuntime(const Database* db, size_t batch_size, ExecStats* stats,
+              ResourceGovernor* governor)
+      : ctx_{db, stats, governor, batch_size == 0 ? 1 : batch_size} {}
+
+  /// Materializes the plan's full answer.
+  Result<Relation> Run(const PhysicalPlanPtr& plan);
+
+  /// Evaluates a boolean plan (kNonEmpty / kBoolNot / kBoolAnd / kBoolOr)
+  /// with short-circuiting; a non-boolean plan must have arity 0 and is
+  /// true iff its answer is non-empty. The non-emptiness test pulls a
+  /// single capacity-1 batch — the paper's first-witness semantics.
+  Result<bool> RunBool(const PhysicalPlanPtr& plan);
+
+ private:
+  Result<PhysicalOpPtr> Build(const PhysicalPlanPtr& node, size_t depth);
+
+  PhysicalContext ctx_;
+};
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_PHYSICAL_RUNTIME_H_

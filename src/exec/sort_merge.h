@@ -2,26 +2,17 @@
 #define BRYQL_EXEC_SORT_MERGE_H_
 
 #include "algebra/expr.h"
+#include "algebra/physical_plan.h"  // JoinVariant
 #include "common/result.h"
 #include "exec/stats.h"
 #include "storage/relation.h"
 
 namespace bryql {
 
-/// Which member of the join family to compute. The paper's observation —
-/// the complement-join "is easily implemented by modifying any semi-join
-/// algorithm" (§3.1), and likewise the constrained outer-join from any
-/// join (§3.3) — holds for the classic sort-merge algorithms of the
-/// paper's era just as for the hash algorithms the streaming executor
-/// uses; this module is the merge counterpart, selected through
-/// ExecOptions::join_algorithm.
-enum class JoinVariant {
-  kInner,      // ⋈: concatenated matches
-  kSemi,       // ⋉: left rows with a partner
-  kAnti,       // ⊼: complement-join — left rows without a partner
-  kLeftOuter,  // ⟕: matches, or ∅-padding
-  kMark,       // constrained outer-join: left row + ⊥/∅ mark column
-};
+// JoinVariant — which member of the join family to compute — lives in
+// algebra/physical_plan.h so lowered plans can name it; this module is
+// the classic merge counterpart of the hash family, the algorithm family
+// of the paper's era, selected through ExecOptions::join_algorithm.
 
 /// Computes one join-family operator by sorting both inputs on their key
 /// columns and merging. `keys` pair left/right columns; `predicate` is

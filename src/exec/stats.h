@@ -2,9 +2,31 @@
 #define BRYQL_EXEC_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace bryql {
+
+/// Per-physical-operator instrumentation: how many batches and rows one
+/// operator instance produced and how long it spent doing so. Collected by
+/// the batched runtime (src/exec/physical/runtime) so an EXPLAIN
+/// ANALYZE-style report can attribute time to operators instead of one
+/// global bucket.
+struct OperatorStats {
+  /// The operator's physical label, e.g. "HashJoin(anti, build=right, ...)".
+  std::string label;
+  /// Plan depth of the operator (0 = root), for indented reports.
+  size_t depth = 0;
+  /// Total NextBatch invocations, including the final empty one.
+  size_t batches = 0;
+  /// Tuples emitted across all batches.
+  size_t rows = 0;
+  /// Wall time inside Open(), inclusive of children.
+  uint64_t open_ns = 0;
+  /// Wall time inside NextBatch(), inclusive of children.
+  uint64_t next_ns = 0;
+};
 
 /// Instrumentation counters for one or more evaluations. These are the
 /// quantities the paper's efficiency arguments are phrased in: how many
@@ -24,8 +46,12 @@ struct ExecStats {
   /// outer-join's "do not search U for tuples already found in T" property
   /// (§3.3) shows up here.
   size_t hash_probes = 0;
-  /// Operator instances evaluated (iterator openings).
+  /// Operator instances evaluated (iterator openings / physical operator
+  /// instantiations).
   size_t operators = 0;
+  /// Per-operator detail, in plan-instantiation order (root first). Empty
+  /// under the tuple-at-a-time engine, which has no per-operator clock.
+  std::vector<OperatorStats> operator_stats;
 
   void Add(const ExecStats& other) {
     tuples_scanned += other.tuples_scanned;
@@ -33,6 +59,9 @@ struct ExecStats {
     comparisons += other.comparisons;
     hash_probes += other.hash_probes;
     operators += other.operators;
+    operator_stats.insert(operator_stats.end(),
+                          other.operator_stats.begin(),
+                          other.operator_stats.end());
   }
 
   std::string ToString() const {
@@ -43,6 +72,29 @@ struct ExecStats {
     out += " probes=" + std::to_string(hash_probes);
     out += " operators=" + std::to_string(operators);
     return out;
+  }
+
+  /// EXPLAIN ANALYZE-style multi-line report: the global counters followed
+  /// by one line per physical operator with batch/row counters and timing
+  /// (times are inclusive of children, like the classic EXPLAIN ANALYZE).
+  std::string Report() const {
+    std::string out = ToString();
+    for (const OperatorStats& op : operator_stats) {
+      out += "\n";
+      out.append(2 + op.depth * 2, ' ');
+      out += op.label + "  batches=" + std::to_string(op.batches) +
+             " rows=" + std::to_string(op.rows) +
+             " open=" + FormatNs(op.open_ns) +
+             " next=" + FormatNs(op.next_ns);
+    }
+    return out;
+  }
+
+ private:
+  static std::string FormatNs(uint64_t ns) {
+    if (ns >= 1000000) return std::to_string(ns / 1000000) + "ms";
+    if (ns >= 1000) return std::to_string(ns / 1000) + "us";
+    return std::to_string(ns) + "ns";
   }
 };
 

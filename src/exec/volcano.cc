@@ -1,0 +1,868 @@
+#include "exec/volcano.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/failpoints.h"
+#include "exec/sort_merge.h"
+
+namespace bryql {
+
+namespace {
+
+/// Pull-based tuple stream. Next() returns false when exhausted.
+class TupleIterator {
+ public:
+  virtual ~TupleIterator() = default;
+  virtual bool Next(Tuple* out) = 0;
+};
+
+using IterPtr = std::unique_ptr<TupleIterator>;
+
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+using TupleMultiMap = std::unordered_map<Tuple, std::vector<Tuple>, TupleHash>;
+
+Tuple KeyOf(const Tuple& t, const std::vector<JoinKey>& keys, bool left) {
+  std::vector<Value> values;
+  values.reserve(keys.size());
+  for (const JoinKey& k : keys) values.push_back(t.at(left ? k.left : k.right));
+  return Tuple(std::move(values));
+}
+
+/// Streams a borrowed row vector (base relations).
+class ScanIterator : public TupleIterator {
+ public:
+  ScanIterator(const std::vector<Tuple>* rows, ExecStats* stats,
+               ResourceGovernor* governor)
+      : rows_(rows), stats_(stats), governor_(governor) {}
+  bool Next(Tuple* out) override {
+    if (index_ >= rows_->size()) return false;
+    if (!governor_->AdmitScan()) return false;
+    ++stats_->tuples_scanned;
+    *out = (*rows_)[index_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Tuple>* rows_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+  size_t index_ = 0;
+};
+
+/// Streams an owned relation (materialized intermediate results). Reads
+/// from intermediates are not counted as base-table scans.
+class OwnedIterator : public TupleIterator {
+ public:
+  explicit OwnedIterator(Relation rel) : rel_(std::move(rel)) {}
+  bool Next(Tuple* out) override {
+    if (index_ >= rel_.rows().size()) return false;
+    *out = rel_.rows()[index_++];
+    return true;
+  }
+
+ private:
+  Relation rel_;
+  size_t index_ = 0;
+};
+
+/// Index lookup: streams the rows of one hash-index bucket, applying the
+/// residual predicate. Only touched rows count as scanned — the whole
+/// point of the index.
+class IndexScanIterator : public TupleIterator {
+ public:
+  IndexScanIterator(const Relation* rel, const std::vector<size_t>* matches,
+                    PredicatePtr residual, ExecStats* stats,
+                    ResourceGovernor* governor)
+      : rel_(rel), matches_(matches), residual_(std::move(residual)),
+        stats_(stats), governor_(governor) {}
+  bool Next(Tuple* out) override {
+    while (index_ < matches_->size()) {
+      if (!governor_->AdmitScan()) return false;
+      const Tuple& row = rel_->rows()[(*matches_)[index_++]];
+      ++stats_->tuples_scanned;
+      if (residual_ == nullptr ||
+          residual_->Eval(row, &stats_->comparisons)) {
+        *out = row;
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  const Relation* rel_;
+  const std::vector<size_t>* matches_;
+  PredicatePtr residual_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+  size_t index_ = 0;
+};
+
+class SelectIterator : public TupleIterator {
+ public:
+  SelectIterator(IterPtr input, PredicatePtr predicate, ExecStats* stats,
+                 ResourceGovernor* governor)
+      : input_(std::move(input)),
+        predicate_(std::move(predicate)),
+        stats_(stats), governor_(governor) {}
+  bool Next(Tuple* out) override {
+    while (input_->Next(out)) {
+      // Tick, not a scan: the input counts itself, but a selection over an
+      // intermediate can reject unboundedly many tuples between yields.
+      if (!governor_->Tick()) return false;
+      if (predicate_->Eval(*out, &stats_->comparisons)) return true;
+    }
+    return false;
+  }
+
+ private:
+  IterPtr input_;
+  PredicatePtr predicate_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+};
+
+class ProjectIterator : public TupleIterator {
+ public:
+  ProjectIterator(IterPtr input, std::vector<size_t> columns,
+                  ExecStats* stats, ResourceGovernor* governor)
+      : input_(std::move(input)), columns_(std::move(columns)),
+        stats_(stats), governor_(governor) {}
+  bool Next(Tuple* out) override {
+    Tuple in;
+    while (input_->Next(&in)) {
+      Tuple projected = in.Project(columns_);
+      if (seen_.insert(projected).second) {
+        if (!governor_->AdmitMaterialize()) return false;
+        ++stats_->tuples_materialized;  // dedup set entry
+        *out = std::move(projected);
+        return true;
+      }
+      if (!governor_->Tick()) return false;  // duplicate-rejection loop
+    }
+    return false;
+  }
+
+ private:
+  IterPtr input_;
+  std::vector<size_t> columns_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+  TupleSet seen_;
+};
+
+class ProductIterator : public TupleIterator {
+ public:
+  ProductIterator(IterPtr left, Relation right, ResourceGovernor* governor)
+      : left_(std::move(left)), right_(std::move(right)),
+        governor_(governor) {}
+  bool Next(Tuple* out) override {
+    while (true) {
+      // A product's output is quadratic in its inputs; every emitted (or
+      // skipped) combination ticks so deadlines bite inside the loop.
+      if (!governor_->Tick()) return false;
+      if (right_index_ == 0) {
+        if (!left_->Next(&current_left_)) return false;
+      }
+      if (right_index_ < right_.rows().size()) {
+        *out = current_left_.Concat(right_.rows()[right_index_++]);
+        if (right_index_ == right_.rows().size()) right_index_ = 0;
+        return true;
+      }
+      right_index_ = 0;  // empty right side: exhaust left
+      if (right_.rows().empty()) return false;
+    }
+  }
+
+ private:
+  IterPtr left_;
+  Relation right_;
+  ResourceGovernor* governor_;
+  Tuple current_left_;
+  size_t right_index_ = 0;
+};
+
+/// Hash equi-join: right side built, left side streamed.
+class JoinIterator : public TupleIterator {
+ public:
+  JoinIterator(IterPtr left, TupleMultiMap table, std::vector<JoinKey> keys,
+               PredicatePtr residual, ExecStats* stats,
+               ResourceGovernor* governor)
+      : left_(std::move(left)), table_(std::move(table)),
+        keys_(std::move(keys)), residual_(std::move(residual)),
+        stats_(stats), governor_(governor) {}
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (!governor_->Tick()) return false;
+      if (matches_ != nullptr && match_index_ < matches_->size()) {
+        Tuple candidate = current_left_.Concat((*matches_)[match_index_++]);
+        if (residual_ == nullptr ||
+            residual_->Eval(candidate, &stats_->comparisons)) {
+          *out = std::move(candidate);
+          return true;
+        }
+        continue;
+      }
+      matches_ = nullptr;
+      if (!left_->Next(&current_left_)) return false;
+      ++stats_->hash_probes;
+      stats_->comparisons += keys_.size();
+      auto it = table_.find(KeyOf(current_left_, keys_, /*left=*/true));
+      if (it != table_.end()) {
+        matches_ = &it->second;
+        match_index_ = 0;
+      }
+    }
+  }
+
+ private:
+  IterPtr left_;
+  TupleMultiMap table_;
+  std::vector<JoinKey> keys_;
+  PredicatePtr residual_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+  Tuple current_left_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_index_ = 0;
+};
+
+/// Semi-join and the paper's complement-join (Definition 6): both are a
+/// membership probe against the right key set, differing only in which
+/// outcome passes — the implementation-sharing the paper points out
+/// ("easily implemented by modifying any semi-join algorithm").
+class SemiAntiIterator : public TupleIterator {
+ public:
+  SemiAntiIterator(IterPtr left, TupleSet right_keys,
+                   std::vector<JoinKey> keys, bool anti, ExecStats* stats)
+      : left_(std::move(left)), right_keys_(std::move(right_keys)),
+        keys_(std::move(keys)), anti_(anti), stats_(stats) {}
+  bool Next(Tuple* out) override {
+    while (left_->Next(out)) {
+      ++stats_->hash_probes;
+      stats_->comparisons += keys_.size();
+      bool found =
+          right_keys_.count(KeyOf(*out, keys_, /*left=*/true)) != 0;
+      if (found != anti_) return true;
+    }
+    return false;
+  }
+
+ private:
+  IterPtr left_;
+  TupleSet right_keys_;
+  std::vector<JoinKey> keys_;
+  bool anti_;
+  ExecStats* stats_;
+};
+
+/// Unidirectional outer join (Figures 2/3), with the optional Definition 7
+/// constraint on the left tuple: rows failing the constraint are not
+/// probed and pad directly with ∅.
+class OuterJoinIterator : public TupleIterator {
+ public:
+  OuterJoinIterator(IterPtr left, TupleMultiMap table,
+                    std::vector<JoinKey> keys, PredicatePtr constraint,
+                    size_t right_arity, ExecStats* stats)
+      : left_(std::move(left)), table_(std::move(table)),
+        keys_(std::move(keys)), constraint_(std::move(constraint)),
+        right_arity_(right_arity), stats_(stats) {}
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (matches_ != nullptr && match_index_ < matches_->size()) {
+        *out = current_left_.Concat((*matches_)[match_index_++]);
+        return true;
+      }
+      matches_ = nullptr;
+      if (!left_->Next(&current_left_)) return false;
+      if (constraint_ != nullptr &&
+          !constraint_->Eval(current_left_, &stats_->comparisons)) {
+        *out = PadWithNulls(current_left_);
+        return true;
+      }
+      ++stats_->hash_probes;
+      stats_->comparisons += keys_.size();
+      auto it = table_.find(KeyOf(current_left_, keys_, /*left=*/true));
+      if (it != table_.end()) {
+        matches_ = &it->second;
+        match_index_ = 0;
+        continue;
+      }
+      *out = PadWithNulls(current_left_);
+      return true;
+    }
+  }
+
+ private:
+  Tuple PadWithNulls(const Tuple& t) const {
+    Tuple padded = t;
+    for (size_t i = 0; i < right_arity_; ++i) padded.Append(Value::Null());
+    return padded;
+  }
+
+  IterPtr left_;
+  TupleMultiMap table_;
+  std::vector<JoinKey> keys_;
+  PredicatePtr constraint_;
+  size_t right_arity_;
+  ExecStats* stats_;
+  Tuple current_left_;
+  const std::vector<Tuple>* matches_ = nullptr;
+  size_t match_index_ = 0;
+};
+
+/// The paper's constrained outer-join (Definition 7), in its space-saving
+/// form: instead of carrying partner values it appends ⊥ ("a partner
+/// exists") or ∅ ("no partner, or not probed").
+class MarkJoinIterator : public TupleIterator {
+ public:
+  MarkJoinIterator(IterPtr left, TupleSet right_keys,
+                   std::vector<JoinKey> keys, PredicatePtr constraint,
+                   ExecStats* stats)
+      : left_(std::move(left)), right_keys_(std::move(right_keys)),
+        keys_(std::move(keys)), constraint_(std::move(constraint)),
+        stats_(stats) {}
+  bool Next(Tuple* out) override {
+    Tuple t;
+    if (!left_->Next(&t)) return false;
+    bool marked = false;
+    if (constraint_ == nullptr ||
+        constraint_->Eval(t, &stats_->comparisons)) {
+      ++stats_->hash_probes;
+      stats_->comparisons += keys_.size();
+      marked = right_keys_.count(KeyOf(t, keys_, /*left=*/true)) != 0;
+    }
+    t.Append(marked ? Value::Mark() : Value::Null());
+    *out = std::move(t);
+    return true;
+  }
+
+ private:
+  IterPtr left_;
+  TupleSet right_keys_;
+  std::vector<JoinKey> keys_;
+  PredicatePtr constraint_;
+  ExecStats* stats_;
+};
+
+/// Union with streaming dedup.
+class UnionIterator : public TupleIterator {
+ public:
+  UnionIterator(IterPtr left, IterPtr right, ExecStats* stats,
+                ResourceGovernor* governor)
+      : left_(std::move(left)), right_(std::move(right)), stats_(stats),
+        governor_(governor) {}
+  bool Next(Tuple* out) override {
+    Tuple t;
+    while (true) {
+      bool have = on_left_ ? left_->Next(&t) : right_->Next(&t);
+      if (!have) {
+        if (!on_left_) return false;
+        on_left_ = false;
+        continue;
+      }
+      if (seen_.insert(t).second) {
+        if (!governor_->AdmitMaterialize()) return false;
+        ++stats_->tuples_materialized;
+        *out = std::move(t);
+        return true;
+      }
+      if (!governor_->Tick()) return false;
+    }
+  }
+
+ private:
+  IterPtr left_;
+  IterPtr right_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+  bool on_left_ = true;
+  TupleSet seen_;
+};
+
+/// Finds an equality conjunct `col = value` whose column carries an index
+/// on `rel`. On a hit, `*residual` receives the remaining conjuncts (or
+/// nullptr when the equality was the whole predicate).
+const Predicate* FindIndexedEquality(const PredicatePtr& pred,
+                                     const Relation& rel,
+                                     PredicatePtr* residual) {
+  auto qualifies = [&](const PredicatePtr& p) {
+    return p->kind() == Predicate::Kind::kCompareColVal &&
+           p->op() == CompareOp::kEq && rel.HasIndex(p->lhs());
+  };
+  if (qualifies(pred)) {
+    *residual = nullptr;
+    return pred.get();
+  }
+  if (pred->kind() != Predicate::Kind::kAnd) return nullptr;
+  const std::vector<PredicatePtr>& parts = pred->children();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!qualifies(parts[i])) continue;
+    std::vector<PredicatePtr> rest;
+    for (size_t j = 0; j < parts.size(); ++j) {
+      if (j != i) rest.push_back(parts[j]);
+    }
+    *residual = rest.empty() ? nullptr : Predicate::And(std::move(rest));
+    return parts[i].get();
+  }
+  return nullptr;
+}
+
+/// The evaluation engine: constructs iterator trees and materializes where
+/// required.
+class Engine {
+ public:
+  Engine(const Database* db, const ExecOptions& options, ExecStats* stats,
+         ResourceGovernor* governor)
+      : db_(db), options_(options), stats_(stats), governor_(governor) {}
+
+  Result<IterPtr> MakeIterator(const ExprPtr& expr) {
+    // Operator open: fault-injection site, plan-depth admission, and a
+    // deadline/cancellation poll before any child work starts.
+    BRYQL_FAILPOINT("exec.iterator.open");
+    GovernorDepthGuard depth(governor_);
+    if (!depth.ok()) return governor_->status();
+    BRYQL_RETURN_NOT_OK(governor_->CheckNow());
+    ++stats_->operators;
+    switch (expr->kind()) {
+      case ExprKind::kScan: {
+        BRYQL_FAILPOINT("exec.scan.open");
+        BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
+                               db_->Get(expr->relation_name()));
+        return IterPtr(new ScanIterator(&rel->rows(), stats_, governor_));
+      }
+      case ExprKind::kLiteral:
+        return IterPtr(
+            new ScanIterator(&expr->literal().rows(), stats_, governor_));
+      case ExprKind::kSelect: {
+        // σ_{col = value}(scan) over an indexed column becomes an index
+        // lookup; any remaining conjuncts stay as a residual filter.
+        if (expr->child()->kind() == ExprKind::kScan) {
+          BRYQL_ASSIGN_OR_RETURN(
+              const Relation* rel,
+              db_->Get(expr->child()->relation_name()));
+          PredicatePtr residual;
+          const Predicate* eq =
+              FindIndexedEquality(expr->predicate(), *rel, &residual);
+          if (eq != nullptr) {
+            ++stats_->hash_probes;
+            return IterPtr(new IndexScanIterator(
+                rel, &rel->Matches(eq->lhs(), eq->value()),
+                std::move(residual), stats_, governor_));
+          }
+        }
+        BRYQL_ASSIGN_OR_RETURN(IterPtr in, MakeIterator(expr->child()));
+        return IterPtr(new SelectIterator(std::move(in), expr->predicate(),
+                                          stats_, governor_));
+      }
+      case ExprKind::kProject: {
+        BRYQL_ASSIGN_OR_RETURN(IterPtr in, MakeIterator(expr->child()));
+        return IterPtr(new ProjectIterator(std::move(in), expr->columns(),
+                                           stats_, governor_));
+      }
+      case ExprKind::kProduct: {
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(Relation right, Materialize(expr->right()));
+        return IterPtr(new ProductIterator(std::move(left),
+                                           std::move(right), governor_));
+      }
+      case ExprKind::kJoin: {
+        if (options_.join_algorithm ==
+            ExecOptions::JoinAlgorithm::kSortMerge) {
+          return SortMergeIterator(expr, JoinVariant::kInner,
+                                   expr->predicate());
+        }
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(TupleMultiMap table,
+                               BuildTable(expr->right(), expr->keys()));
+        return IterPtr(new JoinIterator(std::move(left), std::move(table),
+                                        expr->keys(), expr->predicate(),
+                                        stats_, governor_));
+      }
+      case ExprKind::kSemiJoin:
+      case ExprKind::kAntiJoin: {
+        if (options_.join_algorithm ==
+            ExecOptions::JoinAlgorithm::kSortMerge) {
+          return SortMergeIterator(expr,
+                                   expr->kind() == ExprKind::kAntiJoin
+                                       ? JoinVariant::kAnti
+                                       : JoinVariant::kSemi,
+                                   nullptr);
+        }
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(TupleSet keys,
+                               BuildKeySet(expr->right(), expr->keys()));
+        return IterPtr(new SemiAntiIterator(
+            std::move(left), std::move(keys), expr->keys(),
+            expr->kind() == ExprKind::kAntiJoin, stats_));
+      }
+      case ExprKind::kOuterJoin: {
+        if (options_.join_algorithm ==
+            ExecOptions::JoinAlgorithm::kSortMerge) {
+          return SortMergeIterator(expr, JoinVariant::kLeftOuter,
+                                   expr->constraint());
+        }
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(size_t right_arity, expr->right()->Arity(*db_));
+        BRYQL_ASSIGN_OR_RETURN(TupleMultiMap table,
+                               BuildTable(expr->right(), expr->keys()));
+        return IterPtr(new OuterJoinIterator(
+            std::move(left), std::move(table), expr->keys(),
+            expr->constraint(), right_arity, stats_));
+      }
+      case ExprKind::kMarkJoin: {
+        if (options_.join_algorithm ==
+            ExecOptions::JoinAlgorithm::kSortMerge) {
+          return SortMergeIterator(expr, JoinVariant::kMark,
+                                   expr->constraint());
+        }
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(TupleSet keys,
+                               BuildKeySet(expr->right(), expr->keys()));
+        return IterPtr(new MarkJoinIterator(std::move(left), std::move(keys),
+                                            expr->keys(), expr->constraint(),
+                                            stats_));
+      }
+      case ExprKind::kUnion: {
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(IterPtr right, MakeIterator(expr->right()));
+        return IterPtr(new UnionIterator(std::move(left), std::move(right),
+                                         stats_, governor_));
+      }
+      case ExprKind::kDifference:
+      case ExprKind::kIntersect: {
+        bool keep_if_found = expr->kind() == ExprKind::kIntersect;
+        // Difference/intersection are key-on-whole-tuple semi/anti joins,
+        // so they follow the configured join algorithm like the rest of
+        // the join family.
+        std::vector<JoinKey> keys;
+        BRYQL_ASSIGN_OR_RETURN(size_t arity, expr->left()->Arity(*db_));
+        keys.reserve(arity);
+        for (size_t i = 0; i < arity; ++i) keys.push_back({i, i});
+        if (options_.join_algorithm ==
+            ExecOptions::JoinAlgorithm::kSortMerge) {
+          BRYQL_ASSIGN_OR_RETURN(Relation left, Materialize(expr->left()));
+          BRYQL_ASSIGN_OR_RETURN(Relation right, Materialize(expr->right()));
+          BRYQL_ASSIGN_OR_RETURN(
+              Relation result,
+              SortMergeJoin(left, right, keys,
+                            keep_if_found ? JoinVariant::kSemi
+                                          : JoinVariant::kAnti,
+                            nullptr, stats_));
+          return IterPtr(new OwnedIterator(std::move(result)));
+        }
+        BRYQL_ASSIGN_OR_RETURN(IterPtr left, MakeIterator(expr->left()));
+        BRYQL_ASSIGN_OR_RETURN(TupleSet right,
+                               MaterializeSet(expr->right()));
+        return IterPtr(new SemiAntiIterator(std::move(left), std::move(right),
+                                            std::move(keys), !keep_if_found,
+                                            stats_));
+      }
+      case ExprKind::kDivision: {
+        BRYQL_ASSIGN_OR_RETURN(Relation result, EvaluateDivision(expr));
+        return IterPtr(new OwnedIterator(std::move(result)));
+      }
+      case ExprKind::kGroupDivision: {
+        BRYQL_ASSIGN_OR_RETURN(Relation result,
+                               EvaluateGroupDivision(expr));
+        return IterPtr(new OwnedIterator(std::move(result)));
+      }
+      case ExprKind::kGroupCount: {
+        BRYQL_ASSIGN_OR_RETURN(Relation result, EvaluateGroupCount(expr));
+        return IterPtr(new OwnedIterator(std::move(result)));
+      }
+      case ExprKind::kNonEmpty:
+      case ExprKind::kBoolNot:
+      case ExprKind::kBoolAnd:
+      case ExprKind::kBoolOr: {
+        BRYQL_ASSIGN_OR_RETURN(bool value, EvaluateBool(expr));
+        Relation rel(0);
+        if (value) rel.Insert(Tuple{});
+        return IterPtr(new OwnedIterator(std::move(rel)));
+      }
+    }
+    return Status::Internal("unknown operator kind");
+  }
+
+  Result<Relation> Materialize(const ExprPtr& expr) {
+    BRYQL_ASSIGN_OR_RETURN(size_t arity, expr->Arity(*db_));
+    BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr));
+    Relation rel(arity);
+    Tuple t;
+    while (it->Next(&t)) {
+      BRYQL_FAILPOINT("exec.materialize.insert");
+      if (!governor_->AdmitMaterialize()) break;
+      BRYQL_ASSIGN_OR_RETURN(bool fresh, rel.Insert(std::move(t)));
+      if (fresh) ++stats_->tuples_materialized;
+      t = Tuple();
+    }
+    // Distinguish "input exhausted" from "budget tripped mid-stream": a
+    // tripped governor means `rel` is a partial answer and must not leak.
+    BRYQL_RETURN_NOT_OK(governor_->status());
+    return rel;
+  }
+
+  Result<bool> EvaluateBool(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kNonEmpty: {
+        // The paper's non-emptiness test: pull a single witness.
+        BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->child()));
+        Tuple t;
+        bool witness = it->Next(&t);
+        // A governed iterator reports exhaustion when tripped; "false"
+        // must not masquerade as "empty".
+        BRYQL_RETURN_NOT_OK(governor_->status());
+        return witness;
+      }
+      case ExprKind::kBoolNot: {
+        BRYQL_ASSIGN_OR_RETURN(bool v, EvaluateBool(expr->child()));
+        return !v;
+      }
+      case ExprKind::kBoolAnd: {
+        for (const ExprPtr& c : expr->children()) {
+          BRYQL_ASSIGN_OR_RETURN(bool v, EvaluateBool(c));
+          if (!v) return false;  // short-circuit
+        }
+        return true;
+      }
+      case ExprKind::kBoolOr: {
+        for (const ExprPtr& c : expr->children()) {
+          BRYQL_ASSIGN_OR_RETURN(bool v, EvaluateBool(c));
+          if (v) return true;  // short-circuit
+        }
+        return false;
+      }
+      default: {
+        BRYQL_ASSIGN_OR_RETURN(size_t arity, expr->Arity(*db_));
+        if (arity != 0) {
+          return Status::InvalidArgument(
+              "EvaluateBool on expression of arity " + std::to_string(arity));
+        }
+        BRYQL_ASSIGN_OR_RETURN(Relation rel, Materialize(expr));
+        return !rel.empty();
+      }
+    }
+  }
+
+ private:
+  /// Materializes both sides and runs the sort-merge join family.
+  Result<IterPtr> SortMergeIterator(const ExprPtr& expr, JoinVariant variant,
+                                    const PredicatePtr& predicate) {
+    BRYQL_ASSIGN_OR_RETURN(Relation left, Materialize(expr->left()));
+    BRYQL_ASSIGN_OR_RETURN(Relation right, Materialize(expr->right()));
+    BRYQL_ASSIGN_OR_RETURN(
+        Relation result,
+        SortMergeJoin(left, right, expr->keys(), variant, predicate,
+                      stats_));
+    return IterPtr(new OwnedIterator(std::move(result)));
+  }
+
+  Result<TupleMultiMap> BuildTable(const ExprPtr& expr,
+                                   const std::vector<JoinKey>& keys) {
+    BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr));
+    TupleMultiMap table;
+    Tuple t;
+    while (it->Next(&t)) {
+      BRYQL_FAILPOINT("exec.hash.insert");
+      if (!governor_->AdmitMaterialize()) break;
+      ++stats_->tuples_materialized;
+      table[KeyOf(t, keys, /*left=*/false)].push_back(t);
+    }
+    BRYQL_RETURN_NOT_OK(governor_->status());
+    return table;
+  }
+
+  Result<TupleSet> BuildKeySet(const ExprPtr& expr,
+                               const std::vector<JoinKey>& keys) {
+    BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr));
+    TupleSet set;
+    Tuple t;
+    while (it->Next(&t)) {
+      BRYQL_FAILPOINT("exec.hash.insert");
+      if (set.insert(KeyOf(t, keys, /*left=*/false)).second) {
+        if (!governor_->AdmitMaterialize()) break;
+        ++stats_->tuples_materialized;
+      } else if (!governor_->Tick()) {
+        break;
+      }
+    }
+    BRYQL_RETURN_NOT_OK(governor_->status());
+    return set;
+  }
+
+  Result<TupleSet> MaterializeSet(const ExprPtr& expr) {
+    BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr));
+    TupleSet set;
+    Tuple t;
+    while (it->Next(&t)) {
+      BRYQL_FAILPOINT("exec.materialize.insert");
+      if (set.insert(std::move(t)).second) {
+        if (!governor_->AdmitMaterialize()) break;
+        ++stats_->tuples_materialized;
+      } else if (!governor_->Tick()) {
+        break;
+      }
+      t = Tuple();
+    }
+    BRYQL_RETURN_NOT_OK(governor_->status());
+    return set;
+  }
+
+  /// dividend ÷ divisor: tuples over the first p-q columns paired in the
+  /// dividend with *every* divisor tuple. An empty divisor divides
+  /// trivially: the result is the projection of the dividend.
+  Result<Relation> EvaluateDivision(const ExprPtr& expr) {
+    BRYQL_ASSIGN_OR_RETURN(size_t p, expr->left()->Arity(*db_));
+    BRYQL_ASSIGN_OR_RETURN(size_t q, expr->right()->Arity(*db_));
+    BRYQL_ASSIGN_OR_RETURN(TupleSet divisor, MaterializeSet(expr->right()));
+    std::vector<size_t> prefix_cols, suffix_cols;
+    for (size_t i = 0; i < p - q; ++i) prefix_cols.push_back(i);
+    for (size_t i = p - q; i < p; ++i) suffix_cols.push_back(i);
+    BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->left()));
+    std::unordered_map<Tuple, TupleSet, TupleHash> groups;
+    Tuple t;
+    while (it->Next(&t)) {
+      if (!governor_->AdmitMaterialize()) break;
+      Tuple prefix = t.Project(prefix_cols);
+      Tuple suffix = t.Project(suffix_cols);
+      ++stats_->hash_probes;
+      if (divisor.count(suffix)) {
+        if (groups[std::move(prefix)].insert(std::move(suffix)).second) {
+          ++stats_->tuples_materialized;
+        }
+      } else {
+        groups.try_emplace(std::move(prefix));
+      }
+    }
+    BRYQL_RETURN_NOT_OK(governor_->status());
+    Relation result(p - q);
+    for (auto& [prefix, matched] : groups) {
+      if (matched.size() == divisor.size()) result.Insert(prefix);
+    }
+    return result;
+  }
+
+  /// Per-group division (see ExprKind::kGroupDivision): the divisor is
+  /// grouped by its leading `group_arity` columns; a (keep, group) pair
+  /// of the dividend qualifies when it pairs with *every* value of its
+  /// group. Groups absent from the divisor produce nothing (the
+  /// translator adds the vacuous-truth guard itself).
+  Result<Relation> EvaluateGroupDivision(const ExprPtr& expr) {
+    BRYQL_ASSIGN_OR_RETURN(size_t p, expr->left()->Arity(*db_));
+    BRYQL_ASSIGN_OR_RETURN(size_t q, expr->right()->Arity(*db_));
+    size_t g = expr->group_arity();
+    size_t value_arity = q - g;
+    size_t keep_arity = p - q;  // dividend = [keep, group, value]
+    std::vector<size_t> t_group_cols, t_value_cols;
+    for (size_t i = 0; i < g; ++i) t_group_cols.push_back(i);
+    for (size_t i = g; i < q; ++i) t_value_cols.push_back(i);
+    std::vector<size_t> d_prefix_cols, d_value_cols, d_group_cols;
+    for (size_t i = 0; i < keep_arity + g; ++i) d_prefix_cols.push_back(i);
+    for (size_t i = keep_arity; i < keep_arity + g; ++i) {
+      d_group_cols.push_back(i);
+    }
+    for (size_t i = keep_arity + g; i < p; ++i) d_value_cols.push_back(i);
+
+    // Group the divisor: group key → set of values.
+    std::unordered_map<Tuple, TupleSet, TupleHash> divisor_groups;
+    {
+      BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->right()));
+      Tuple t;
+      while (it->Next(&t)) {
+        if (!governor_->AdmitMaterialize()) break;
+        if (divisor_groups[t.Project(t_group_cols)]
+                .insert(t.Project(t_value_cols))
+                .second) {
+          ++stats_->tuples_materialized;
+        }
+      }
+      BRYQL_RETURN_NOT_OK(governor_->status());
+    }
+    // Count matched values per (keep, group) prefix of the dividend.
+    std::unordered_map<Tuple, TupleSet, TupleHash> matched;
+    {
+      BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->left()));
+      Tuple t;
+      while (it->Next(&t)) {
+        if (!governor_->AdmitMaterialize()) break;
+        Tuple group = t.Project(d_group_cols);
+        ++stats_->hash_probes;
+        auto git = divisor_groups.find(group);
+        if (git == divisor_groups.end()) continue;
+        Tuple value = t.Project(d_value_cols);
+        if (!git->second.count(value)) continue;
+        if (matched[t.Project(d_prefix_cols)].insert(std::move(value))
+                .second) {
+          ++stats_->tuples_materialized;
+        }
+      }
+      BRYQL_RETURN_NOT_OK(governor_->status());
+    }
+    Relation result(keep_arity + g);
+    for (auto& [prefix, values] : matched) {
+      // The group is the suffix of the prefix tuple.
+      std::vector<size_t> group_in_prefix;
+      for (size_t i = keep_arity; i < keep_arity + g; ++i) {
+        group_in_prefix.push_back(i);
+      }
+      auto git = divisor_groups.find(prefix.Project(group_in_prefix));
+      if (git != divisor_groups.end() &&
+          values.size() == git->second.size()) {
+        result.Insert(prefix);
+      }
+    }
+    return result;
+  }
+
+  /// γ: per-group row counts (set semantics: rows are already distinct).
+  Result<Relation> EvaluateGroupCount(const ExprPtr& expr) {
+    size_t g = expr->group_arity();
+    std::vector<size_t> group_cols;
+    for (size_t i = 0; i < g; ++i) group_cols.push_back(i);
+    std::unordered_map<Tuple, int64_t, TupleHash> counts;
+    BRYQL_ASSIGN_OR_RETURN(IterPtr it, MakeIterator(expr->child()));
+    Tuple t;
+    while (it->Next(&t)) {
+      if (!governor_->AdmitMaterialize()) break;
+      ++counts[t.Project(group_cols)];
+      ++stats_->tuples_materialized;
+    }
+    BRYQL_RETURN_NOT_OK(governor_->status());
+    Relation result(g + 1);
+    for (auto& [group, count] : counts) {
+      Tuple row = group;
+      row.Append(Value::Int(count));
+      result.Insert(std::move(row));
+    }
+    return result;
+  }
+
+  const Database* db_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+  ResourceGovernor* governor_;
+};
+
+}  // namespace
+
+Result<Relation> VolcanoEvaluate(const Database* db,
+                                 const ExecOptions& options, ExecStats* stats,
+                                 ResourceGovernor* governor,
+                                 const ExprPtr& expr) {
+  Engine engine(db, options, stats, governor);
+  return engine.Materialize(expr);
+}
+
+Result<bool> VolcanoEvaluateBool(const Database* db,
+                                 const ExecOptions& options, ExecStats* stats,
+                                 ResourceGovernor* governor,
+                                 const ExprPtr& expr) {
+  Engine engine(db, options, stats, governor);
+  return engine.EvaluateBool(expr);
+}
+
+}  // namespace bryql

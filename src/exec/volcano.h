@@ -1,0 +1,36 @@
+#ifndef BRYQL_EXEC_VOLCANO_H_
+#define BRYQL_EXEC_VOLCANO_H_
+
+#include "algebra/expr.h"
+#include "common/governor.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "exec/stats.h"
+#include "storage/database.h"
+
+namespace bryql {
+
+/// The original tuple-at-a-time (volcano) interpreter over the logical
+/// Expr tree — one virtual Next() per tuple per operator. Kept as the
+/// reference engine: the batched physical layer (ExecOptions::Mode::
+/// kBatched, the default) is differentially tested against it, and
+/// bench_prepared measures the batching win against it. Selected via
+/// ExecOptions::Mode::kTupleAtATime.
+///
+/// Callers must have validated `expr` (arity check, plan-depth bound)
+/// beforehand — Executor::Evaluate/EvaluateBool do.
+Result<Relation> VolcanoEvaluate(const Database* db,
+                                 const ExecOptions& options, ExecStats* stats,
+                                 ResourceGovernor* governor,
+                                 const ExprPtr& expr);
+
+/// Boolean (arity-0) evaluation with short-circuiting BoolAnd/BoolOr and
+/// first-witness NonEmpty.
+Result<bool> VolcanoEvaluateBool(const Database* db,
+                                 const ExecOptions& options, ExecStats* stats,
+                                 ResourceGovernor* governor,
+                                 const ExprPtr& expr);
+
+}  // namespace bryql
+
+#endif  // BRYQL_EXEC_VOLCANO_H_

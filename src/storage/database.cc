@@ -41,10 +41,14 @@ Status Database::BuildIndex(const std::string& name, size_t column) {
         "no column " + std::to_string(column) + " in relation '" + name +
         "' of arity " + std::to_string(it->second.arity()));
   }
+  // An index changes the best access path, so plans prepared before it
+  // must not be reused as-is.
+  ++version_;
   return it->second.BuildIndex(column);
 }
 
 void Database::BuildAllIndexes() {
+  ++version_;
   for (auto& [name, rel] : relations_) {
     for (size_t c = 0; c < rel.arity(); ++c) rel.BuildIndex(c);
   }

@@ -54,6 +54,11 @@ class Database {
   /// Total number of stored tuples across all relations.
   size_t TotalTuples() const;
 
+  /// Catalog version, advanced by every mutation (Put, BuildIndex).
+  /// Cached query plans record the version they were prepared against and
+  /// are re-prepared when it moves.
+  uint64_t version() const { return version_; }
+
  private:
   std::map<std::string, Relation> relations_;
   /// Cache for the "dom" view; rebuilt when version_ advances.

@@ -63,6 +63,9 @@ TEST_F(FailpointsTest, EveryKnownFailpointPropagatesOnEveryStrategy) {
     size_t strategies_hit = 0;
     for (Strategy s : kAllStrategies) {
       failpoints::DisarmAll();
+      // A successful run caches its plan; flush so preparation-phase
+      // sites (parse/rewrite/translate/lower) stay on the next run's path.
+      qp.ClearPlanCache();
       failpoints::Arm(fp, Status::Internal("injected at " + fp));
       auto exec = qp.Run(kFullPipelineQuery, s);
       if (exec.ok()) continue;  // site not on this strategy's path
@@ -84,6 +87,9 @@ TEST_F(FailpointsTest, ExpectedCoverageMatrix) {
   QueryProcessor qp(&db);
   auto fails_on = [&](const char* fp, Strategy s) {
     failpoints::DisarmAll();
+    // Preparation-phase sites are skipped on a plan-cache hit, which is
+    // not what this matrix measures — every probe runs cold.
+    qp.ClearPlanCache();
     failpoints::Arm(fp, Status::Internal(std::string("injected at ") + fp));
     auto exec = qp.Run(kFullPipelineQuery, s);
     failpoints::DisarmAll();
@@ -95,10 +101,11 @@ TEST_F(FailpointsTest, ExpectedCoverageMatrix) {
     // Every strategy except the classical reduction normalizes.
     EXPECT_EQ(fails_on("rewrite.step", s), s != Strategy::kClassical)
         << StrategyName(s);
-    // Every algebraic strategy translates and opens iterators; the
-    // Figure 1 interpreter does neither but enumerates instead.
+    // Every algebraic strategy translates, lowers and opens iterators;
+    // the Figure 1 interpreter does none of that but enumerates instead.
     bool algebraic = s != Strategy::kNestedLoop;
     EXPECT_EQ(fails_on("translate.plan", s), algebraic) << StrategyName(s);
+    EXPECT_EQ(fails_on("exec.lower.plan", s), algebraic) << StrategyName(s);
     EXPECT_EQ(fails_on("exec.iterator.open", s), algebraic)
         << StrategyName(s);
     EXPECT_EQ(fails_on("exec.scan.open", s), algebraic) << StrategyName(s);
@@ -111,13 +118,32 @@ TEST_F(FailpointsTest, ExpectedCoverageMatrix) {
 TEST_F(FailpointsTest, SkipCountDelaysInjection) {
   Database db = MakeUniversity(SmallConfig(3));
   QueryProcessor qp(&db);
-  // parse.query is hit exactly once per Run: skip=2 lets two runs pass.
+  // parse.query is hit exactly once per *uncached* Run (a plan-cache
+  // hit skips parsing entirely): skip=2 lets two cold runs pass.
   failpoints::Arm("parse.query", Status::Internal("third run fails"), 2);
   EXPECT_TRUE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
+  qp.ClearPlanCache();
   EXPECT_TRUE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
+  qp.ClearPlanCache();
   auto third = qp.Run(kFullPipelineQuery, Strategy::kBry);
   ASSERT_FALSE(third.ok());
   EXPECT_EQ(third.status().message(), "third run fails");
+}
+
+TEST_F(FailpointsTest, CachedRunSkipsPreparationFailpoints) {
+  // The flip side of the matrix above: after a clean run the plan is
+  // cached, so an armed preparation-phase site is simply never reached
+  // — execution-phase sites still are.
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  ASSERT_TRUE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
+  failpoints::Arm("translate.plan", Status::Internal("never reached"));
+  auto cached = qp.Run(kFullPipelineQuery, Strategy::kBry);
+  EXPECT_TRUE(cached.ok()) << cached.status();
+  EXPECT_TRUE(cached->plan_cache_hit);
+  failpoints::DisarmAll();
+  failpoints::Arm("exec.scan.open", Status::Internal("still on the path"));
+  EXPECT_FALSE(qp.Run(kFullPipelineQuery, Strategy::kBry).ok());
 }
 
 TEST_F(FailpointsTest, DisarmRestoresCleanRuns) {
