@@ -18,6 +18,8 @@
 //   .domclose                 toggle Domain Closure mode (§2.1)
 //   .strategy <name>          bry | bry-division | bry-union-filters |
 //                             quel-counting | classical | nested-loop
+//   .threads <n>              morsel-parallel execution with n workers
+//                             (0 = serial, the default)
 //   .quit
 
 #include <iostream>
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
   ViewSet views;
   Strategy strategy = Strategy::kBry;
   bool domain_closure = false;
+  size_t num_threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -78,7 +81,7 @@ int main(int argc, char** argv) {
                 << "commands: .load name file.csv | .rel name rows... ; |\n"
                 << "          .relations | .explain <query> | "
                    ".explain physical <query> |\n"
-                << "          .strategy <name> | .quit\n";
+                << "          .strategy <name> | .threads <n> | .quit\n";
       continue;
     }
     if (line == ".relations") {
@@ -97,6 +100,18 @@ int main(int argc, char** argv) {
         std::cout << "strategy = " << StrategyName(strategy) << "\n";
       } else {
         std::cout << "unknown strategy\n";
+      }
+      continue;
+    }
+    if (line.rfind(".threads ", 0) == 0) {
+      std::istringstream in(line.substr(9));
+      size_t n = 0;
+      if (in >> n) {
+        num_threads = n;
+        std::cout << "threads = " << num_threads
+                  << (num_threads == 0 ? " (serial)" : "") << "\n";
+      } else {
+        std::cout << "usage: .threads <n>\n";
       }
       continue;
     }
@@ -220,7 +235,9 @@ int main(int argc, char** argv) {
       }
       continue;
     }
-    auto exec = qp.Run(line, strategy);
+    QueryOptions run_options;
+    run_options.num_threads = num_threads;
+    auto exec = qp.Run(line, strategy, run_options);
     if (!exec.ok()) {
       std::cout << exec.status() << "\n";
       continue;

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice:
-#   1. the plain release configuration (what CI and benchmarks use), and
+# Tier-1 verification, three times:
+#   1. the plain release configuration (what CI and benchmarks use),
 #   2. an ASan+UBSan configuration with failpoints compiled in, so the
 #      fault-injection stress tests actually run and every injected
-#      failure path is checked for leaks and UB.
+#      failure path is checked for leaks and UB, and
+#   3. a TSan configuration running the parallel-execution tests, so the
+#      morsel-driven runtime's sharing (morsel dispensers, shared builds,
+#      sharded seen-sets, budget reconciliation) is race-checked.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -11,17 +14,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/2] plain build + tests =="
+echo "== [1/3] plain build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/2] sanitized build (address;undefined) + failpoints + tests =="
+echo "== [2/3] sanitized build (address;undefined) + failpoints + tests =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBRYQL_SANITIZE="address;undefined" \
   -DBRYQL_FAILPOINTS=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== [3/3] thread-sanitized build + parallel tests =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBRYQL_SANITIZE="thread" >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# The parallel suite exercises every shared structure; plan-cache and
+# prepared-query tests cover the concurrent QueryProcessor paths.
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'parallel|plan_cache|prepared'
 
 echo "All checks passed."

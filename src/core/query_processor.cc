@@ -92,7 +92,7 @@ Result<Execution> QueryProcessor::BuildExecution(
     // applied so all strategies answer the same canonical question (the
     // interpreter handles ∀ natively, so this is not required, but it
     // keeps the comparison apples-to-apples on the same formula).
-    ++prepare_counters_.normalizations;
+    CountPhase(&PrepareCounters::normalizations);
     BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm,
                            NormalizeQuery(query, rewrite_options));
     exec.canonical = norm.formula;
@@ -106,7 +106,7 @@ Result<Execution> QueryProcessor::BuildExecution(
   if (strategy == Strategy::kClassical) {
     // The conventional methods reduce the raw query directly (prenex
     // form); no canonical form phase.
-    ++prepare_counters_.translations;
+    CountPhase(&PrepareCounters::translations);
     ClassicalTranslator classical(db_);
     if (query.closed()) {
       BRYQL_ASSIGN_OR_RETURN(exec.plan,
@@ -118,7 +118,7 @@ Result<Execution> QueryProcessor::BuildExecution(
     }
     return exec;
   }
-  ++prepare_counters_.normalizations;
+  CountPhase(&PrepareCounters::normalizations);
   BRYQL_ASSIGN_OR_RETURN(NormalizeResult norm,
                          NormalizeQuery(query, rewrite_options));
   exec.canonical = norm.formula;
@@ -127,7 +127,7 @@ Result<Execution> QueryProcessor::BuildExecution(
     BRYQL_ASSIGN_OR_RETURN(exec.canonical,
                            ApplyDomainClosure(exec.canonical, targets));
   }
-  ++prepare_counters_.translations;
+  CountPhase(&PrepareCounters::translations);
   Translator translator(db_, OptionsFor(strategy));
   if (query.closed()) {
     BRYQL_ASSIGN_OR_RETURN(exec.plan,
@@ -186,7 +186,7 @@ Result<PreparedQueryPtr> QueryProcessor::PrepareInternal(
     // from the text. The refreshed entry replaces the stale one below.
   }
   *cache_hit = false;
-  ++prepare_counters_.parses;
+  CountPhase(&PrepareCounters::parses);
   BRYQL_ASSIGN_OR_RETURN(Query query,
                          ParseQuery(text, ParseLimitsFor(options)));
   BRYQL_ASSIGN_OR_RETURN(Execution exec,
@@ -199,7 +199,7 @@ Result<PreparedQueryPtr> QueryProcessor::PrepareInternal(
   prepared->plan = exec.plan;
   prepared->rewrite_steps = exec.rewrite_steps;
   if (exec.plan != nullptr) {
-    ++prepare_counters_.lowerings;
+    CountPhase(&PrepareCounters::lowerings);
     Executor executor(db_, exec_options_, governor);
     BRYQL_ASSIGN_OR_RETURN(prepared->physical, executor.Lower(exec.plan));
   }

@@ -2,6 +2,7 @@
 #define BRYQL_CORE_QUERY_PROCESSOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <variant>
 
@@ -184,13 +185,21 @@ class QueryProcessor {
   /// full preparation pipeline again. Counters in cache_stats() survive.
   void ClearPlanCache() const { cache_.Clear(); }
 
-  /// Phase-work counters since construction (not thread-safe — meant for
-  /// single-threaded tests asserting "the second run did zero work").
-  const PrepareCounters& prepare_counters() const {
+  /// A snapshot of the phase-work counters since construction. Increments
+  /// are mutex-guarded, so concurrent Run/Prepare calls never lose a
+  /// count; the snapshot is consistent (taken under the same lock).
+  PrepareCounters prepare_counters() const {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
     return prepare_counters_;
   }
 
  private:
+  /// Advances one preparation-phase counter (thread-safe).
+  void CountPhase(size_t PrepareCounters::*field) const {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
+    ++(prepare_counters_.*field);
+  }
+
   /// Normalization + translation on a parsed query (no cache, no parse).
   Result<Execution> BuildExecution(const Query& query, Strategy strategy,
                                    const QueryOptions& options,
@@ -210,6 +219,7 @@ class QueryProcessor {
   bool domain_closure_ = false;
   ExecOptions exec_options_;
   mutable PlanCache cache_;
+  mutable std::mutex counter_mutex_;
   mutable PrepareCounters prepare_counters_;
 };
 

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "exec/lowering.h"
+#include "exec/physical/parallel.h"
 #include "exec/physical/runtime.h"
 #include "exec/volcano.h"
 
@@ -57,11 +58,26 @@ Result<PhysicalPlanPtr> Executor::Lower(const ExprPtr& expr) const {
 }
 
 Result<Relation> Executor::ExecutePhysical(const PhysicalPlanPtr& plan) {
+  // num_threads is a drive-time knob, not a plan property: the same
+  // (cached) physical plan executes serially or morsel-parallel depending
+  // on the options of the run at hand.
+  const size_t threads = governor_->options().num_threads;
+  if (threads > 0) {
+    ParallelRuntime runtime(db_, options_.batch_size, &stats_, governor_,
+                            threads);
+    return runtime.Run(plan);
+  }
   PlanRuntime runtime(db_, options_.batch_size, &stats_, governor_);
   return runtime.Run(plan);
 }
 
 Result<bool> Executor::ExecutePhysicalBool(const PhysicalPlanPtr& plan) {
+  const size_t threads = governor_->options().num_threads;
+  if (threads > 0) {
+    ParallelRuntime runtime(db_, options_.batch_size, &stats_, governor_,
+                            threads);
+    return runtime.RunBool(plan);
+  }
   PlanRuntime runtime(db_, options_.batch_size, &stats_, governor_);
   return runtime.RunBool(plan);
 }

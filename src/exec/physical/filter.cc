@@ -1,5 +1,7 @@
 #include "exec/physical/filter.h"
 
+#include "exec/physical/parallel.h"
+
 namespace bryql {
 
 Status FilterOp::NextBatch(TupleBatch* out) {
@@ -35,7 +37,10 @@ Status ProjectOp::NextBatch(TupleBatch* out) {
     }
     while (pos_ < in_.size() && !out->full()) {
       Tuple projected = in_[pos_++].Project(columns_);
-      if (seen_.insert(projected).second) {
+      const bool fresh = shared_seen_ != nullptr
+                             ? shared_seen_->Insert(projected)
+                             : seen_.insert(projected).second;
+      if (fresh) {
         if (!ctx_.governor->AdmitMaterialize()) return ctx_.governor->status();
         ++ctx_.stats->tuples_materialized;
         out->Add(std::move(projected));

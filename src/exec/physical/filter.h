@@ -9,6 +9,8 @@
 
 namespace bryql {
 
+class ShardedTupleSet;
+
 /// σ_pred over a batched stream. Requests child batches no larger than the
 /// requested output capacity, so selective downstream pulls (first-witness
 /// tests) never over-read the input.
@@ -32,12 +34,17 @@ class FilterOp : public PhysicalOperator {
 /// π_cols with streaming dedup (set semantics: duplicates collapse). Each
 /// fresh output tuple is one dedup-set insertion and therefore one
 /// materialization admission, as in the volcano engine.
+///
+/// With a shared seen-set (parallel workers) freshness is decided against
+/// the global ShardedTupleSet, so the same tuple reached through two
+/// workers is admitted exactly once — keeping the collective materialize
+/// count equal to the serial run's.
 class ProjectOp : public PhysicalOperator {
  public:
   ProjectOp(PhysicalOpPtr child, std::vector<size_t> columns,
-            PhysicalContext ctx)
+            PhysicalContext ctx, ShardedTupleSet* shared_seen = nullptr)
       : child_(std::move(child)), columns_(std::move(columns)), ctx_(ctx),
-        in_(1) {}
+        shared_seen_(shared_seen), in_(1) {}
   Status Open() override { return child_->Open(); }
   Status NextBatch(TupleBatch* out) override;
   void Close() override { child_->Close(); }
@@ -46,6 +53,7 @@ class ProjectOp : public PhysicalOperator {
   PhysicalOpPtr child_;
   std::vector<size_t> columns_;
   PhysicalContext ctx_;
+  ShardedTupleSet* shared_seen_;
   TupleBatch in_;
   size_t pos_ = 0;
   TupleSet seen_;

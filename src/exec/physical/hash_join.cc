@@ -1,9 +1,12 @@
 #include "exec/physical/hash_join.h"
 
+#include "exec/physical/parallel.h"
+
 namespace bryql {
 
 Status ProductOp::Open() {
   BRYQL_RETURN_NOT_OK(left_->Open());
+  if (right_op_ == nullptr) return Status::Ok();  // borrowed, pre-drained
   BRYQL_RETURN_NOT_OK(right_op_->Open());
   return DrainToRelation(right_op_.get(), right_.arity(), ctx_, &right_);
 }
@@ -23,13 +26,13 @@ Status ProductOp::NextBatch(TupleBatch* out) {
         break;
       }
     }
-    if (right_index_ < right_.rows().size()) {
-      out->Add(current_left_.Concat(right_.rows()[right_index_++]));
-      if (right_index_ == right_.rows().size()) right_index_ = 0;
+    if (right_index_ < right_view_->rows().size()) {
+      out->Add(current_left_.Concat(right_view_->rows()[right_index_++]));
+      if (right_index_ == right_view_->rows().size()) right_index_ = 0;
       continue;
     }
     right_index_ = 0;
-    if (right_.rows().empty()) {
+    if (right_view_->rows().empty()) {
       left_done_ = true;
       break;
     }
@@ -40,11 +43,12 @@ Status ProductOp::NextBatch(TupleBatch* out) {
 HashJoinOp::HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
                        std::vector<JoinKey> keys, JoinVariant variant,
                        PredicatePtr predicate, bool build_left,
-                       size_t pad_arity, PhysicalContext ctx)
+                       size_t pad_arity, PhysicalContext ctx,
+                       const SharedJoinBuild* shared_build)
     : left_(std::move(left)), right_(std::move(right)),
       keys_(std::move(keys)), variant_(variant),
       predicate_(std::move(predicate)), build_left_(build_left),
-      pad_arity_(pad_arity), ctx_(ctx),
+      pad_arity_(pad_arity), ctx_(ctx), shared_build_(shared_build),
       probe_cursor_(build_left ? right_.get() : left_.get()) {}
 
 Status HashJoinOp::Open() {
@@ -54,6 +58,7 @@ Status HashJoinOp::Open() {
   PhysicalOperator* probe = build_left_ ? right_.get() : left_.get();
   PhysicalOperator* build = build_left_ ? left_.get() : right_.get();
   BRYQL_RETURN_NOT_OK(probe->Open());
+  if (shared_build_ != nullptr) return Status::Ok();  // built by the phase
   BRYQL_RETURN_NOT_OK(build->Open());
   switch (variant_) {
     case JoinVariant::kInner:
@@ -67,6 +72,17 @@ Status HashJoinOp::Open() {
                            &key_set_);
   }
   return Status::Internal("unknown join variant");
+}
+
+const std::vector<Tuple>* HashJoinOp::FindMatches(const Tuple& key) const {
+  if (shared_build_ != nullptr) return shared_build_->Find(key);
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+bool HashJoinOp::ContainsKey(const Tuple& key) const {
+  if (shared_build_ != nullptr) return shared_build_->Contains(key);
+  return key_set_.count(key) != 0;
 }
 
 Status HashJoinOp::NextBatch(TupleBatch* out) {
@@ -109,10 +125,10 @@ Status HashJoinOp::NextInner(TupleBatch* out) {
     }
     ++ctx_.stats->hash_probes;
     ctx_.stats->comparisons += keys_.size();
-    auto it = table_.find(JoinKeyOf(current_probe_, keys_,
-                                    /*left=*/!build_left_));
-    if (it != table_.end()) {
-      matches_ = &it->second;
+    const std::vector<Tuple>* found = FindMatches(
+        JoinKeyOf(current_probe_, keys_, /*left=*/!build_left_));
+    if (found != nullptr) {
+      matches_ = found;
       match_index_ = 0;
     }
   }
@@ -131,7 +147,7 @@ Status HashJoinOp::NextSemiAnti(TupleBatch* out) {
     ++ctx_.stats->hash_probes;
     ctx_.stats->comparisons += keys_.size();
     bool found =
-        key_set_.count(JoinKeyOf(current_probe_, keys_, /*left=*/true)) != 0;
+        ContainsKey(JoinKeyOf(current_probe_, keys_, /*left=*/true));
     if (found != (variant_ == JoinVariant::kAnti)) {
       *out->AddSlot() = current_probe_;
     }
@@ -162,9 +178,10 @@ Status HashJoinOp::NextOuter(TupleBatch* out) {
     }
     ++ctx_.stats->hash_probes;
     ctx_.stats->comparisons += keys_.size();
-    auto it = table_.find(JoinKeyOf(current_probe_, keys_, /*left=*/true));
-    if (it != table_.end()) {
-      matches_ = &it->second;
+    const std::vector<Tuple>* found =
+        FindMatches(JoinKeyOf(current_probe_, keys_, /*left=*/true));
+    if (found != nullptr) {
+      matches_ = found;
       match_index_ = 0;
       continue;
     }
@@ -187,8 +204,7 @@ Status HashJoinOp::NextMark(TupleBatch* out) {
         predicate_->Eval(current_probe_, &ctx_.stats->comparisons)) {
       ++ctx_.stats->hash_probes;
       ctx_.stats->comparisons += keys_.size();
-      marked = key_set_.count(JoinKeyOf(current_probe_, keys_,
-                                        /*left=*/true)) != 0;
+      marked = ContainsKey(JoinKeyOf(current_probe_, keys_, /*left=*/true));
     }
     current_probe_.Append(marked ? Value::Mark() : Value::Null());
     *out->AddSlot() = current_probe_;

@@ -11,26 +11,38 @@
 
 namespace bryql {
 
+class SharedJoinBuild;
+
 /// Cartesian product: the right side is fully drained at Open, the left
 /// side streams. Every combination (emitted or not) ticks the governor so
 /// deadlines bite inside the quadratic loop.
+///
+/// The borrowed-right constructor is the parallel form: the coordinator
+/// has already drained the right side once (with the serial admissions),
+/// and every worker's product iterates the same shared rows.
 class ProductOp : public PhysicalOperator {
  public:
   ProductOp(PhysicalOpPtr left, PhysicalOpPtr right, size_t right_arity,
             PhysicalContext ctx)
       : left_(std::move(left)), right_op_(std::move(right)),
-        right_(right_arity), cursor_(left_.get()), ctx_(ctx) {}
+        right_(right_arity), right_view_(&right_), cursor_(left_.get()),
+        ctx_(ctx) {}
+  ProductOp(PhysicalOpPtr left, const Relation* borrowed_right,
+            PhysicalContext ctx)
+      : left_(std::move(left)), right_(0), right_view_(borrowed_right),
+        cursor_(left_.get()), ctx_(ctx) {}
   Status Open() override;
   Status NextBatch(TupleBatch* out) override;
   void Close() override {
     left_->Close();
-    right_op_->Close();
+    if (right_op_ != nullptr) right_op_->Close();
   }
 
  private:
   PhysicalOpPtr left_;
-  PhysicalOpPtr right_op_;
-  Relation right_;
+  PhysicalOpPtr right_op_;       // null in borrowed mode
+  Relation right_;               // owned drain target (unused borrowed)
+  const Relation* right_view_;   // what NextBatch actually iterates
   BatchCursor cursor_;
   PhysicalContext ctx_;
   Tuple current_left_;
@@ -48,6 +60,11 @@ class ProductOp : public PhysicalOperator {
 /// `build_left` (inner joins only) puts the left input on the build side
 /// when the lowering's cost model estimates it smaller; output column
 /// order stays left ++ right regardless.
+///
+/// With a SharedJoinBuild (parallel workers) the build side was drained
+/// once, concurrently, before this operator existed: Open skips the drain,
+/// probes go to the shared table, and the build-side operator pointer is
+/// null. Serial probes pay only a predicted-null branch.
 class HashJoinOp : public PhysicalOperator {
  public:
   /// `predicate` is the residual condition for kInner (evaluated on the
@@ -58,12 +75,12 @@ class HashJoinOp : public PhysicalOperator {
   HashJoinOp(PhysicalOpPtr left, PhysicalOpPtr right,
              std::vector<JoinKey> keys, JoinVariant variant,
              PredicatePtr predicate, bool build_left, size_t pad_arity,
-             PhysicalContext ctx);
+             PhysicalContext ctx, const SharedJoinBuild* shared_build = nullptr);
   Status Open() override;
   Status NextBatch(TupleBatch* out) override;
   void Close() override {
-    left_->Close();
-    right_->Close();
+    if (left_ != nullptr) left_->Close();
+    if (right_ != nullptr) right_->Close();
   }
 
  private:
@@ -72,6 +89,8 @@ class HashJoinOp : public PhysicalOperator {
   Status NextOuter(TupleBatch* out);
   Status NextMark(TupleBatch* out);
   Tuple PadWithNulls(const Tuple& t) const;
+  const std::vector<Tuple>* FindMatches(const Tuple& key) const;
+  bool ContainsKey(const Tuple& key) const;
 
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;
@@ -81,6 +100,7 @@ class HashJoinOp : public PhysicalOperator {
   bool build_left_;
   size_t pad_arity_;
   PhysicalContext ctx_;
+  const SharedJoinBuild* shared_build_;
 
   BatchCursor probe_cursor_;
   TupleMultiMap table_;   // kInner, kLeftOuter

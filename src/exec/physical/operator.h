@@ -16,15 +16,25 @@
 
 namespace bryql {
 
+struct ParallelShared;
+
 /// Per-run context shared by every operator of one instantiated plan:
 /// catalog, counters, the run's ResourceGovernor, and the configured batch
 /// size. Plain borrowed pointers — the runtime driving the plan owns (or
 /// outlives) all of them.
+///
+/// `shared` is null in serial runs (the common case — every operator's
+/// hot path is untouched) and points at the coordinator's ParallelShared
+/// registry inside a parallel worker, where it redirects scans to morsel
+/// dispensers, joins to pre-built shared tables, and dedup operators to
+/// sharded global seen-sets. The redirection is decided once per node at
+/// instantiation time (PlanRuntime::Build), never per tuple.
 struct PhysicalContext {
   const Database* db = nullptr;
   ExecStats* stats = nullptr;
   ResourceGovernor* governor = nullptr;
   size_t batch_size = kDefaultBatchSize;
+  const ParallelShared* shared = nullptr;
 };
 
 /// A physical operator instance: runtime state for one PhysicalNode of a

@@ -8,6 +8,7 @@
 #include "exec/physical/division.h"
 #include "exec/physical/filter.h"
 #include "exec/physical/hash_join.h"
+#include "exec/physical/parallel.h"
 #include "exec/physical/scan.h"
 #include "exec/physical/set_ops.h"
 #include "exec/physical/sort_merge_join.h"
@@ -69,16 +70,33 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
       OperatorStats{node->Label(), depth, 0, 0, 0, 0});
 
   PhysicalOpPtr op;
+  // Parallel workers: a node the coordinator already materialized (a
+  // blocking operator, a boolean subtree, …) is replaced wholesale by a
+  // scan over the shared result — morsel-partitioned, with no admissions,
+  // exactly like the serial BlockingResultOp streaming it would be.
+  if (ctx_.shared != nullptr) {
+    if (const Relation* rel = ctx_.shared->FindRelation(node.get())) {
+      op = PhysicalOpPtr(new BorrowedRelationScanOp(
+          &rel->rows(), ctx_.shared->FindMorsels(node.get())));
+      return PhysicalOpPtr(new TimedOp(std::move(op), ctx_.stats, op_index));
+    }
+  }
+  // In serial runs every Find* below is a null `shared` short-circuit;
+  // the decisions are per *node*, so the per-tuple hot paths are shared
+  // between both modes unchanged.
+  MorselSource* morsels =
+      ctx_.shared == nullptr ? nullptr : ctx_.shared->FindMorsels(node.get());
   switch (node->kind) {
     case PhysicalKind::kTableScan: {
       BRYQL_FAILPOINT("exec.scan.open");
       BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
                              ctx_.db->Get(node->relation_name));
-      op = PhysicalOpPtr(new TableScanOp(&rel->rows(), ctx_));
+      op = PhysicalOpPtr(new TableScanOp(&rel->rows(), ctx_, morsels));
       break;
     }
     case PhysicalKind::kLiteralScan: {
-      op = PhysicalOpPtr(new TableScanOp(&node->literal->rows(), ctx_));
+      op = PhysicalOpPtr(
+          new TableScanOp(&node->literal->rows(), ctx_, morsels));
       break;
     }
     case PhysicalKind::kIndexScan: {
@@ -94,7 +112,7 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
         if (node->predicate != nullptr) parts.push_back(node->predicate);
         PredicatePtr full = parts.size() == 1 ? std::move(parts[0])
                                               : Predicate::And(std::move(parts));
-        PhysicalOpPtr scan(new TableScanOp(&rel->rows(), ctx_));
+        PhysicalOpPtr scan(new TableScanOp(&rel->rows(), ctx_, morsels));
         op = PhysicalOpPtr(
             new FilterOp(std::move(scan), std::move(full), ctx_));
         break;
@@ -102,7 +120,7 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
       ++ctx_.stats->hash_probes;
       op = PhysicalOpPtr(new IndexScanOp(
           rel, &rel->Matches(node->index_column, node->index_value),
-          node->predicate, ctx_));
+          node->predicate, ctx_, morsels));
       break;
     }
     case PhysicalKind::kFilter: {
@@ -115,13 +133,26 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
     case PhysicalKind::kProject: {
       BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr child,
                              Build(node->children[0], depth + 1));
+      ShardedTupleSet* seen =
+          ctx_.shared == nullptr ? nullptr : ctx_.shared->FindSeen(node.get());
       op = PhysicalOpPtr(
-          new ProjectOp(std::move(child), node->columns, ctx_));
+          new ProjectOp(std::move(child), node->columns, ctx_, seen));
       break;
     }
     case PhysicalKind::kProduct: {
       BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
                              Build(node->children[0], depth + 1));
+      // Parallel workers: the coordinator drained the right side once
+      // (with the serial per-tuple admissions) and registered it; every
+      // worker's product borrows those rows instead of re-draining —
+      // which would multiply the admission count by the worker count.
+      if (ctx_.shared != nullptr) {
+        if (const Relation* rel =
+                ctx_.shared->FindRelation(node->children[1].get())) {
+          op = PhysicalOpPtr(new ProductOp(std::move(left), rel, ctx_));
+          break;
+        }
+      }
       BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
                              Build(node->children[1], depth + 1));
       op = PhysicalOpPtr(new ProductOp(std::move(left), std::move(right),
@@ -129,6 +160,23 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
       break;
     }
     case PhysicalKind::kHashJoin: {
+      // Parallel workers: a pre-built SharedJoinBuild replaces the build
+      // side wholesale — only the probe child is instantiated, and the
+      // build-side slot stays null.
+      const SharedJoinBuild* shared_build =
+          ctx_.shared == nullptr ? nullptr : ctx_.shared->FindBuild(node.get());
+      if (shared_build != nullptr) {
+        const size_t probe_index = node->build_left ? 1 : 0;
+        BRYQL_ASSIGN_OR_RETURN(
+            PhysicalOpPtr probe, Build(node->children[probe_index], depth + 1));
+        PhysicalOpPtr left = probe_index == 0 ? std::move(probe) : nullptr;
+        PhysicalOpPtr right = probe_index == 1 ? std::move(probe) : nullptr;
+        op = PhysicalOpPtr(new HashJoinOp(
+            std::move(left), std::move(right), node->keys, node->variant,
+            node->predicate, node->build_left, node->pad_arity, ctx_,
+            shared_build));
+        break;
+      }
       BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr left,
                              Build(node->children[0], depth + 1));
       BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
@@ -181,8 +229,10 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
                              Build(node->children[0], depth + 1));
       BRYQL_ASSIGN_OR_RETURN(PhysicalOpPtr right,
                              Build(node->children[1], depth + 1));
+      ShardedTupleSet* seen =
+          ctx_.shared == nullptr ? nullptr : ctx_.shared->FindSeen(node.get());
       op = PhysicalOpPtr(
-          new UnionOp(std::move(left), std::move(right), ctx_));
+          new UnionOp(std::move(left), std::move(right), ctx_, seen));
       break;
     }
     case PhysicalKind::kNonEmpty:

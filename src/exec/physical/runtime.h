@@ -22,9 +22,15 @@ namespace bryql {
 /// timing decorator feeding ExecStats::operator_stats.
 class PlanRuntime {
  public:
+  /// `shared` is null for a serial run; the ParallelRuntime passes its
+  /// registry here when instantiating per-worker trees, which redirects
+  /// scans/builds/dedup state to the shared structures (see
+  /// PhysicalContext::shared).
   PlanRuntime(const Database* db, size_t batch_size, ExecStats* stats,
-              ResourceGovernor* governor)
-      : ctx_{db, stats, governor, batch_size == 0 ? 1 : batch_size} {}
+              ResourceGovernor* governor,
+              const ParallelShared* shared = nullptr)
+      : ctx_{db, stats, governor, batch_size == 0 ? 1 : batch_size,
+             shared} {}
 
   /// Materializes the plan's full answer.
   Result<Relation> Run(const PhysicalPlanPtr& plan);
@@ -34,6 +40,12 @@ class PlanRuntime {
   /// true iff its answer is non-empty. The non-emptiness test pulls a
   /// single capacity-1 batch — the paper's first-witness semantics.
   Result<bool> RunBool(const PhysicalPlanPtr& plan);
+
+  /// Instantiates the operator tree without driving it — the parallel
+  /// runtime's entry point (each worker drives its own tree).
+  Result<PhysicalOpPtr> Instantiate(const PhysicalPlanPtr& plan) {
+    return Build(plan, 0);
+  }
 
  private:
   Result<PhysicalOpPtr> Build(const PhysicalPlanPtr& node, size_t depth);

@@ -10,29 +10,44 @@
 
 namespace bryql {
 
+class MorselSource;
+
 /// Full scan over a borrowed row vector (base relations and literals).
 /// Every row read is admitted through the governor as a base-table scan.
+///
+/// With a MorselSource (parallel workers) the scan reads whatever row
+/// ranges it can claim from the shared dispenser instead of [0, n);
+/// across all workers the claims cover each row exactly once, so the
+/// collective scan admissions equal the serial count.
 class TableScanOp : public PhysicalOperator {
  public:
-  TableScanOp(const std::vector<Tuple>* rows, PhysicalContext ctx)
-      : rows_(rows), ctx_(ctx) {}
+  TableScanOp(const std::vector<Tuple>* rows, PhysicalContext ctx,
+              MorselSource* morsels = nullptr)
+      : rows_(rows), ctx_(ctx), morsels_(morsels),
+        limit_(morsels == nullptr ? rows->size() : 0) {}
   Status Open() override { return Status::Ok(); }
   Status NextBatch(TupleBatch* out) override;
 
  private:
   const std::vector<Tuple>* rows_;
   PhysicalContext ctx_;
+  MorselSource* morsels_;
   size_t index_ = 0;
+  size_t limit_;  // end of the current morsel (== rows->size() serially)
 };
 
 /// Hash-index bucket lookup with a residual filter. Only touched rows
-/// count as scanned — the whole point of the index.
+/// count as scanned — the whole point of the index. A MorselSource, when
+/// present, partitions the *match list* (not the base table) across
+/// workers.
 class IndexScanOp : public PhysicalOperator {
  public:
   IndexScanOp(const Relation* rel, const std::vector<size_t>* matches,
-              PredicatePtr residual, PhysicalContext ctx)
+              PredicatePtr residual, PhysicalContext ctx,
+              MorselSource* morsels = nullptr)
       : rel_(rel), matches_(matches), residual_(std::move(residual)),
-        ctx_(ctx) {}
+        ctx_(ctx), morsels_(morsels),
+        limit_(morsels == nullptr ? matches->size() : 0) {}
   Status Open() override { return Status::Ok(); }
   Status NextBatch(TupleBatch* out) override;
 
@@ -41,7 +56,9 @@ class IndexScanOp : public PhysicalOperator {
   const std::vector<size_t>* matches_;
   PredicatePtr residual_;
   PhysicalContext ctx_;
+  MorselSource* morsels_;
   size_t index_ = 0;
+  size_t limit_;
 };
 
 /// Streams an owned relation (sort-merge results, division results,
@@ -56,6 +73,27 @@ class RelationSourceOp : public PhysicalOperator {
  private:
   Relation rel_;
   size_t index_ = 0;
+};
+
+/// Streams rows owned by someone else — in parallel workers, a relation
+/// the coordinator materialized once and registered in ParallelShared.
+/// Like RelationSourceOp, reads are not admissions (serial execution
+/// streams the same intermediate without counting); a MorselSource
+/// partitions the rows across the workers sharing them.
+class BorrowedRelationScanOp : public PhysicalOperator {
+ public:
+  explicit BorrowedRelationScanOp(const std::vector<Tuple>* rows,
+                                  MorselSource* morsels = nullptr)
+      : rows_(rows), morsels_(morsels),
+        limit_(morsels == nullptr ? rows->size() : 0) {}
+  Status Open() override { return Status::Ok(); }
+  Status NextBatch(TupleBatch* out) override;
+
+ private:
+  const std::vector<Tuple>* rows_;
+  MorselSource* morsels_;
+  size_t index_ = 0;
+  size_t limit_;
 };
 
 }  // namespace bryql

@@ -1,5 +1,7 @@
 #include "exec/physical/set_ops.h"
 
+#include "exec/physical/parallel.h"
+
 namespace bryql {
 
 Status UnionOp::NextBatch(TupleBatch* out) {
@@ -14,7 +16,9 @@ Status UnionOp::NextBatch(TupleBatch* out) {
       on_left_ = false;
       continue;
     }
-    if (seen_.insert(t).second) {
+    const bool fresh = shared_seen_ != nullptr ? shared_seen_->Insert(t)
+                                               : seen_.insert(t).second;
+    if (fresh) {
       if (!ctx_.governor->AdmitMaterialize()) return ctx_.governor->status();
       ++ctx_.stats->tuples_materialized;
       *out->AddSlot() = t;
