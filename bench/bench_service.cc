@@ -1,0 +1,193 @@
+// E15: what the fault-tolerant service layer costs and buys.
+//
+//   * Fault-free overhead — QueryService::Run vs. QueryProcessor::Run on
+//     the same warm queries. The service adds one admission (a mutex
+//     acquisition and two counter bumps on the uncontended fast path)
+//     and one retry-loop frame; the budget is <3%.
+//   * Overload behaviour — 8 client threads against a 2-slot service,
+//     with and without admission control. With a deep queue every
+//     request eventually answers but the tail latency is the queue; with
+//     a shallow queue + deadline the service sheds the excess in
+//     microseconds with a retry-after hint and goodput holds.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+#include "bench/bench_util.h"
+#include "service/service.h"
+
+namespace bryql {
+namespace {
+
+using namespace std::chrono_literals;
+
+struct Workload {
+  const char* name;
+  const char* text;
+};
+
+// The bench_prepared workloads, so overhead is measured on the same
+// queries the plan-cache numbers use.
+const Workload kWorkloads[] = {
+    {"E3-complement-join", "{ x, z | member(x, z) & ~skill(x, db) }"},
+    {"E6-disjunctive-filter",
+     "{ x | student(x) & (speaks(x, french) | speaks(x, german)) }"},
+    {"E9-universal",
+     "{ x | student(x) & (forall y: lecture(y, db) -> attends(x, y)) }"},
+    {"E9-nested-exists",
+     "exists x y: enrolled(x, y) & y != cs & makes(x, phd) & "
+     "(exists z: lecture(z, ai) & attends(x, z))"},
+};
+
+Database MakeDb(size_t students) {
+  UniversityConfig config;
+  config.students = students;
+  config.professors = students / 8;
+  config.lectures = 48;
+  config.seed = 31;
+  return MakeUniversity(config);
+}
+
+/// Baseline: the processor alone, warm plan cache.
+void BM_Service_DirectRun(benchmark::State& state) {
+  const Workload& w = kWorkloads[state.range(1)];
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  QueryProcessor qp(&db);
+  if (!qp.Run(w.text).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  Execution exec;
+  for (auto _ : state) {
+    auto result = qp.Run(w.text);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    exec = std::move(*result);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  state.SetLabel(w.name);
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+/// The same queries through the full service front door: admission,
+/// retry loop, stats. Fault-free, uncontended — the overhead number.
+void BM_Service_Run(benchmark::State& state) {
+  const Workload& w = kWorkloads[state.range(1)];
+  Database db = MakeDb(static_cast<size_t>(state.range(0)));
+  QueryProcessor qp(&db);
+  QueryService service(&qp);
+  if (!service.Run(w.text).ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  Execution exec;
+  for (auto _ : state) {
+    auto reply = service.Run(w.text);
+    if (!reply.ok()) {
+      state.SkipWithError(reply.status().ToString().c_str());
+      return;
+    }
+    exec = std::move(reply->execution);
+    benchmark::DoNotOptimize(exec.answer.relation);
+  }
+  state.SetLabel(w.name);
+  bench::ReportStats(state, exec.stats, bench::AnswerSize(exec));
+}
+
+/// Shared rig for the multi-threaded overload benchmarks: one database,
+/// one processor, one service, configured per (queue_depth, deadline_ms)
+/// argument pair and rebuilt when the configuration changes.
+struct OverloadRig {
+  size_t queue_depth;
+  uint64_t deadline_ms;
+  Database db;
+  std::unique_ptr<QueryProcessor> qp;
+  std::unique_ptr<QueryService> service;
+
+  OverloadRig(size_t depth, uint64_t deadline)
+      : queue_depth(depth), deadline_ms(deadline), db(MakeDb(2000)) {
+    qp = std::make_unique<QueryProcessor>(&db);
+    ServiceOptions options;
+    options.max_concurrency = 2;
+    options.max_queue_depth = depth;
+    // One attempt: overload measures admission, not retry.
+    options.retry.max_attempts = 1;
+    service = std::make_unique<QueryService>(qp.get(), options);
+    // Warm the plan cache so every measured request is execution only.
+    (void)service->Run(kWorkloads[1].text);
+  }
+};
+
+std::mutex g_rig_mutex;
+std::unique_ptr<OverloadRig> g_rig;
+
+OverloadRig* GetRig(size_t depth, uint64_t deadline_ms) {
+  std::lock_guard<std::mutex> lock(g_rig_mutex);
+  if (!g_rig || g_rig->queue_depth != depth ||
+      g_rig->deadline_ms != deadline_ms) {
+    g_rig = std::make_unique<OverloadRig>(depth, deadline_ms);
+  }
+  return g_rig.get();
+}
+
+/// 8 client threads, 2 execution slots. Args: {queue_depth, deadline_ms}.
+/// A deep queue (1024, no deadline) = "no shedding": everyone eventually
+/// answers, latency is the queue. A shallow queue (4) with a deadline =
+/// admission control: the excess is rejected in microseconds.
+void BM_Service_Overload(benchmark::State& state) {
+  OverloadRig* rig = GetRig(static_cast<size_t>(state.range(0)),
+                            static_cast<uint64_t>(state.range(1)));
+  QueryOptions options;
+  if (state.range(1) > 0) {
+    options.deadline = std::chrono::milliseconds(state.range(1));
+  }
+  size_t answered = 0, shed = 0, deadline_missed = 0;
+  for (auto _ : state) {
+    auto reply = rig->service->Run(kWorkloads[1].text, Strategy::kBry,
+                                   options);
+    if (reply.ok()) {
+      ++answered;
+      benchmark::DoNotOptimize(reply->execution.answer.relation);
+    } else if (reply.status().code() == StatusCode::kResourceExhausted) {
+      ++shed;
+    } else {
+      ++deadline_missed;
+    }
+  }
+  // Counters sum across threads; rates divide by wall time — answered/s
+  // is the goodput, shed/s the cleanly rejected excess.
+  state.counters["answered"] = benchmark::Counter(
+      static_cast<double>(answered), benchmark::Counter::kIsRate);
+  state.counters["shed"] = benchmark::Counter(
+      static_cast<double>(shed), benchmark::Counter::kIsRate);
+  state.counters["deadline_missed"] = benchmark::Counter(
+      static_cast<double>(deadline_missed), benchmark::Counter::kIsRate);
+  if (state.thread_index() == 0) {
+    state.SetLabel(state.range(1) > 0 ? "shedding" : "unbounded-queue");
+  }
+}
+
+void OverheadArgs(benchmark::internal::Benchmark* b) {
+  for (long scale : {500L, 2000L}) {
+    for (long w = 0; w < 4; ++w) b->Args({scale, w});
+  }
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Service_DirectRun)->Apply(OverheadArgs);
+BENCHMARK(BM_Service_Run)->Apply(OverheadArgs);
+BENCHMARK(BM_Service_Overload)
+    ->Args({1024, 0})
+    ->Args({4, 20})
+    ->Threads(8)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bryql
+
+BENCHMARK_MAIN();

@@ -20,14 +20,24 @@
 //                             quel-counting | classical | nested-loop
 //   .threads <n>              morsel-parallel execution with n workers
 //                             (0 = serial, the default)
+//   .service                  toggle the fault-tolerant front door
+//                             (DESIGN.md §9): admission, retries,
+//                             degradation; pairs with BRYQL_FAILPOINTS
 //   .quit
+//
+// With failpoints compiled in (-DBRYQL_FAILPOINTS=ON), the environment
+// variable BRYQL_FAILPOINTS arms fault injection at startup, e.g.
+//   BRYQL_FAILPOINTS='exec.scan.open=p0.2@seed7' ./query_shell
+// and `.service` shows the retry machinery riding out the faults.
 
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "algebra/cost_model.h"
+#include "common/failpoints.h"
 #include "core/query_processor.h"
+#include "service/service.h"
 #include "storage/csv.h"
 
 using namespace bryql;
@@ -54,6 +64,12 @@ int main(int argc, char** argv) {
   Strategy strategy = Strategy::kBry;
   bool domain_closure = false;
   size_t num_threads = 0;
+  bool use_service = false;
+
+  // Arms any faults requested via the BRYQL_FAILPOINTS environment
+  // variable (no-op when unset or when failpoints are compiled out).
+  Status fp = failpoints::InitFromEnv();
+  if (!fp.ok()) std::cerr << "BRYQL_FAILPOINTS: " << fp << "\n";
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -81,7 +97,8 @@ int main(int argc, char** argv) {
                 << "commands: .load name file.csv | .rel name rows... ; |\n"
                 << "          .relations | .explain <query> | "
                    ".explain physical <query> |\n"
-                << "          .strategy <name> | .threads <n> | .quit\n";
+                << "          .strategy <name> | .threads <n> | .service | "
+                   ".quit\n";
       continue;
     }
     if (line == ".relations") {
@@ -113,6 +130,14 @@ int main(int argc, char** argv) {
       } else {
         std::cout << "usage: .threads <n>\n";
       }
+      continue;
+    }
+    if (line == ".service") {
+      use_service = !use_service;
+      std::cout << "service " << (use_service ? "on" : "off")
+                << (use_service ? " (admission + retries + degradation)"
+                                : "")
+                << "\n";
       continue;
     }
     if (line.rfind(".view ", 0) == 0) {
@@ -237,17 +262,34 @@ int main(int argc, char** argv) {
     }
     QueryOptions run_options;
     run_options.num_threads = num_threads;
-    auto exec = qp.Run(line, strategy, run_options);
-    if (!exec.ok()) {
-      std::cout << exec.status() << "\n";
-      continue;
-    }
-    if (exec->answer.closed) {
-      std::cout << (exec->answer.truth ? "true" : "false") << "\n";
+    Execution execution;
+    if (use_service) {
+      QueryService service(&qp);
+      auto reply = service.Run(line, strategy, run_options);
+      if (!reply.ok()) {
+        std::cout << reply.status() << "\n";
+        continue;
+      }
+      if (reply->attempts > 1 || reply->degradation_level > 0) {
+        std::cout << "-- service: " << reply->attempts << " attempt(s), "
+                  << "degradation level " << reply->degradation_level
+                  << "\n";
+      }
+      execution = std::move(reply->execution);
     } else {
-      std::cout << exec->answer.relation.ToString();
+      auto exec = qp.Run(line, strategy, run_options);
+      if (!exec.ok()) {
+        std::cout << exec.status() << "\n";
+        continue;
+      }
+      execution = std::move(*exec);
     }
-    std::cout << "-- " << exec->stats.ToString() << "\n";
+    if (execution.answer.closed) {
+      std::cout << (execution.answer.truth ? "true" : "false") << "\n";
+    } else {
+      std::cout << execution.answer.relation.ToString();
+    }
+    std::cout << "-- " << execution.stats.ToString() << "\n";
   }
   return 0;
 }

@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# Tier-1 verification, three times:
+# Tier-1 verification, four times:
 #   1. the plain release configuration (what CI and benchmarks use),
 #   2. an ASan+UBSan configuration with failpoints compiled in, so the
 #      fault-injection stress tests actually run and every injected
 #      failure path is checked for leaks and UB, and
-#   3. a TSan configuration running the parallel-execution tests, so the
-#      morsel-driven runtime's sharing (morsel dispensers, shared builds,
-#      sharded seen-sets, budget reconciliation) is race-checked.
+#   3. a TSan configuration running the parallel-execution and service
+#      tests, so the morsel-driven runtime's sharing (morsel dispensers,
+#      shared builds, sharded seen-sets, budget reconciliation) and the
+#      service layer's admission/retry machinery are race-checked, and
+#   4. a chaos sweep: the seeded fault-injection harness re-run across
+#      fixed seeds against the failpoints build, asserting every reply
+#      under randomized faults is either the fault-free oracle answer or
+#      a clean retryable error.
 #
 # Usage: scripts/check.sh [jobs]
 set -euo pipefail
@@ -14,12 +19,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/3] plain build + tests =="
+echo "== [1/4] plain build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/3] sanitized build (address;undefined) + failpoints + tests =="
+echo "== [2/4] sanitized build (address;undefined) + failpoints + tests =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBRYQL_SANITIZE="address;undefined" \
@@ -27,14 +32,27 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [3/3] thread-sanitized build + parallel tests =="
+echo "== [3/4] thread-sanitized build + parallel/service tests =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DBRYQL_SANITIZE="thread" >/dev/null
+  -DBRYQL_SANITIZE="thread" \
+  -DBRYQL_FAILPOINTS=ON >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # The parallel suite exercises every shared structure; plan-cache and
-# prepared-query tests cover the concurrent QueryProcessor paths.
+# prepared-query tests cover the concurrent QueryProcessor paths; the
+# service and chaos suites cover admission, retry and fault injection
+# under 8-way client concurrency.
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'parallel|plan_cache|prepared'
+  -R 'parallel|plan_cache|prepared|service'
+
+echo "== [4/4] chaos seed sweep (failpoints build) =="
+cmake -B build-chaos -S . -DBRYQL_FAILPOINTS=ON >/dev/null
+cmake --build build-chaos -j "$JOBS" --target chaos_service_test
+# Each seed fully determines the fault schedule; a failing seed
+# reproduces with BRYQL_CHAOS_SEED=<seed> ./build-chaos/tests/chaos_service_test
+for seed in 7 42 1989 4242 24601 99991 123456789 987654321; do
+  echo "-- chaos seed $seed --"
+  BRYQL_CHAOS_SEED="$seed" ./build-chaos/tests/chaos_service_test
+done
 
 echo "All checks passed."

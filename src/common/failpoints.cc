@@ -1,8 +1,12 @@
 #include "common/failpoints.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <stdexcept>
+
+#include "common/str_util.h"
 
 namespace bryql {
 namespace failpoints {
@@ -11,7 +15,12 @@ namespace {
 
 struct Armed {
   Status status;
-  size_t skip = 0;  // hits to let through before firing
+  size_t skip = 0;  // hits to let through before firing (deterministic)
+  /// Probabilistic trigger; <0 means "deterministic mode" (use skip).
+  double probability = -1.0;
+  uint64_t seed = 0;
+  /// Hit index within this arming, input to the per-hit fire decision.
+  size_t hit_index = 0;
 };
 
 std::mutex& Mutex() {
@@ -24,9 +33,69 @@ std::map<std::string, Armed>& Registry() {
   return registry;
 }
 
+std::map<std::string, SiteStats>& StatsRegistry() {
+  static std::map<std::string, SiteStats> stats;
+  return stats;
+}
+
 std::atomic<size_t>& ArmedCount() {
   static std::atomic<size_t> count{0};
   return count;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a: stable across platforms, so a seed names the same fault
+  // schedule everywhere.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// The fire decision for one probabilistic hit: a pure function of
+/// (seed, site, hit index) — thread interleavings may permute which
+/// caller observes which hit index, but the schedule itself is fixed.
+bool FiresAt(const Armed& armed, const std::string& name, size_t hit) {
+  uint64_t r = SplitMix64(armed.seed ^ HashName(name) ^
+                          SplitMix64(static_cast<uint64_t>(hit)));
+  // Map to [0,1): 53 high bits, the double-precision mantissa width.
+  double u = static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0);
+  return u < armed.probability;
+}
+
+/// Shared core of Hit/HitOrThrow: the armed Status when the site fires,
+/// OK otherwise. Counters advance here.
+Status HitLocked(const char* name) {
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::Ok();
+  SiteStats& stats = StatsRegistry()[name];
+  ++stats.hits;
+  Armed& armed = it->second;
+  if (armed.probability >= 0.0) {
+    bool fires = FiresAt(armed, it->first, armed.hit_index++);
+    if (!fires) return Status::Ok();
+  } else if (armed.skip > 0) {
+    --armed.skip;
+    return Status::Ok();
+  }
+  ++stats.fires;
+  return armed.status;
+}
+
+void Insert(const std::string& name, Armed armed) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().insert_or_assign(name, std::move(armed));
+  (void)it;
+  if (inserted) ArmedCount().fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -41,11 +110,22 @@ bool enabled() {
 
 void Arm(const std::string& name, Status status, size_t skip) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(Mutex());
-  auto [it, inserted] =
-      Registry().insert_or_assign(name, Armed{std::move(status), skip});
-  (void)it;
-  if (inserted) ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  Armed armed;
+  armed.status = std::move(status);
+  armed.skip = skip;
+  Insert(name, std::move(armed));
+}
+
+void ArmProbabilistic(const std::string& name, Status status,
+                      double probability, uint64_t seed) {
+  if (status.ok()) return;
+  Armed armed;
+  armed.status = std::move(status);
+  armed.probability = probability < 0.0   ? 0.0
+                      : probability > 1.0 ? 1.0
+                                          : probability;
+  armed.seed = seed;
+  Insert(name, std::move(armed));
 }
 
 void Disarm(const std::string& name) {
@@ -68,13 +148,96 @@ bool AnyArmed() {
 Status Hit(const char* name) {
   if (!AnyArmed()) return Status::Ok();
   std::lock_guard<std::mutex> lock(Mutex());
-  auto it = Registry().find(name);
-  if (it == Registry().end()) return Status::Ok();
-  if (it->second.skip > 0) {
-    --it->second.skip;
-    return Status::Ok();
+  return HitLocked(name);
+}
+
+void HitOrThrow(const char* name) {
+  if (!AnyArmed()) return;
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(Mutex());
+    status = HitLocked(name);
   }
-  return it->second.status;
+  if (!status.ok()) throw std::runtime_error(status.message());
+}
+
+std::map<std::string, SiteStats> Stats() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  return StatsRegistry();
+}
+
+void ResetStats() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  StatsRegistry().clear();
+}
+
+Status ArmFromSpec(const std::string& spec) {
+  if (!enabled()) {
+    return Status::Unsupported(
+        "failpoints are compiled out (build with -DBRYQL_FAILPOINTS=ON)");
+  }
+  for (const std::string& raw : Split(spec, ',')) {
+    std::string entry(Trim(raw));
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    std::string site(Trim(entry.substr(
+        0, eq == std::string::npos ? entry.size() : eq)));
+    if (site.empty()) {
+      return Status::InvalidArgument("failpoint spec with empty site: '" +
+                                     entry + "'");
+    }
+    Status injected = Status::Transient("failpoint " + site);
+    if (eq == std::string::npos) {
+      Arm(site, std::move(injected));
+      continue;
+    }
+    std::string trigger(Trim(entry.substr(eq + 1)));
+    if (trigger.rfind("skip", 0) == 0) {
+      char* end = nullptr;
+      unsigned long long skip = std::strtoull(trigger.c_str() + 4, &end, 10);
+      if (end == trigger.c_str() + 4 || *end != '\0') {
+        return Status::InvalidArgument("bad skip trigger in failpoint spec: '" +
+                                       entry + "'");
+      }
+      Arm(site, std::move(injected), static_cast<size_t>(skip));
+      continue;
+    }
+    if (trigger.rfind("p", 0) == 0) {
+      // p<float>@seed<uint>, e.g. p0.01@seed42.
+      size_t at = trigger.find("@seed");
+      if (at == std::string::npos) {
+        return Status::InvalidArgument(
+            "probabilistic trigger missing '@seed' in failpoint spec: '" +
+            entry + "'");
+      }
+      char* end = nullptr;
+      std::string prob_text = trigger.substr(1, at - 1);
+      double p = std::strtod(prob_text.c_str(), &end);
+      if (prob_text.empty() || end != prob_text.c_str() + prob_text.size() ||
+          p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            "bad probability in failpoint spec: '" + entry + "'");
+      }
+      std::string seed_text = trigger.substr(at + 5);
+      unsigned long long seed = std::strtoull(seed_text.c_str(), &end, 10);
+      if (seed_text.empty() || end != seed_text.c_str() + seed_text.size()) {
+        return Status::InvalidArgument("bad seed in failpoint spec: '" +
+                                       entry + "'");
+      }
+      ArmProbabilistic(site, std::move(injected), p,
+                       static_cast<uint64_t>(seed));
+      continue;
+    }
+    return Status::InvalidArgument("unknown trigger in failpoint spec: '" +
+                                   entry + "'");
+  }
+  return Status::Ok();
+}
+
+Status InitFromEnv() {
+  const char* env = std::getenv("BRYQL_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::Ok();
+  return ArmFromSpec(env);
 }
 
 std::vector<std::string> KnownFailpoints() {
@@ -88,6 +251,7 @@ std::vector<std::string> KnownFailpoints() {
       "exec.scan.open",           // base-relation scan open
       "exec.hash.insert",         // join-family hash-table build, per tuple
       "exec.materialize.insert",  // result/dedup materialization, per tuple
+      "exec.physical.throw",      // throws at operator dispatch (barrier test)
       "nestedloop.enumerate",     // Figure 1 producer-block entry
   };
 }

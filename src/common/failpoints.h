@@ -1,6 +1,8 @@
 #ifndef BRYQL_COMMON_FAILPOINTS_H_
 #define BRYQL_COMMON_FAILPOINTS_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,14 @@ namespace failpoints {
 /// Naming scheme: `<layer>.<site>[.<event>]`, e.g. "exec.scan.open",
 /// "exec.hash.insert", "rewrite.step". The canonical list lives in
 /// KnownFailpoints() and DESIGN.md §5.
+///
+/// Two trigger modes exist per site:
+///   * deterministic — after `skip` further hits, every hit fires
+///     (Arm, the original behaviour);
+///   * probabilistic — each hit fires independently with probability `p`,
+///     decided by a hash of (seed, site, per-site hit index), so a fault
+///     schedule is a pure function of the seed and the hit sequence —
+///     the chaos harness's reproducibility contract (ArmProbabilistic).
 
 /// True when the library was built with BRYQL_FAILPOINTS.
 bool enabled();
@@ -29,18 +39,65 @@ bool enabled();
 /// `status` must be non-OK. Overwrites any previous arming of `name`.
 void Arm(const std::string& name, Status status, size_t skip = 0);
 
+/// Arms `name` probabilistically: each hit fires with probability
+/// `probability` (clamped to [0,1]), decided deterministically from
+/// `seed`, the site name and the site's hit index. Overwrites any
+/// previous arming of `name`. `status` must be non-OK.
+void ArmProbabilistic(const std::string& name, Status status,
+                      double probability, uint64_t seed);
+
 /// Disarms one failpoint / all failpoints.
 void Disarm(const std::string& name);
 void DisarmAll();
 
 /// The Status armed at `name`, or OK when `name` is disarmed, still in its
-/// skip window, or the facility is compiled out. Called by the
-/// BRYQL_FAILPOINT macro; tests normally don't need it directly.
+/// skip window, not selected by its probabilistic trigger, or the facility
+/// is compiled out. Called by the BRYQL_FAILPOINT macro; tests normally
+/// don't need it directly.
 Status Hit(const char* name);
+
+/// Throwing twin of Hit, for the BRYQL_FAILPOINT_THROW macro: when the
+/// armed trigger fires it *throws* std::runtime_error(message) instead of
+/// returning, simulating an operator whose failure escapes as a C++
+/// exception rather than a Status. Used to test the exception-isolation
+/// barrier at the physical-operator dispatch.
+void HitOrThrow(const char* name);
 
 /// True when any failpoint is armed (one relaxed atomic load — the only
 /// cost a disarmed build-with-failpoints pays per site).
 bool AnyArmed();
+
+/// Per-site observation counters, accumulated while any failpoint is
+/// armed (the disarmed fast path stays counter-free). `hits` counts every
+/// evaluation of an *armed* site, `fires` the subset that actually
+/// injected. Survives Disarm; cleared by ResetStats.
+struct SiteStats {
+  size_t hits = 0;
+  size_t fires = 0;
+};
+
+/// Snapshot of every armed site's counters since the last ResetStats.
+std::map<std::string, SiteStats> Stats();
+void ResetStats();
+
+/// Parses one BRYQL_FAILPOINTS env-style spec list and arms accordingly.
+/// Grammar (comma-separated entries):
+///
+///   entry  := site [ '=' trigger ]
+///   trigger:= 'p' <float> '@seed' <uint>   probabilistic, e.g. p0.01@seed42
+///           | 'skip' <uint>                deterministic after N hits
+///
+/// A bare site always fires. Armed sites inject
+/// Status::Transient("failpoint <site>"). Returns InvalidArgument on a
+/// malformed entry (earlier well-formed entries stay armed), or
+/// Unsupported when the facility is compiled out.
+Status ArmFromSpec(const std::string& spec);
+
+/// Reads the BRYQL_FAILPOINTS environment variable (if set and non-empty)
+/// through ArmFromSpec. The variable shares its name with the CMake
+/// option deliberately: the build flag compiles the sites in, the env var
+/// arms them at process start.
+Status InitFromEnv();
 
 /// Every failpoint name compiled into the library, for exhaustive stress
 /// tests ("for each known failpoint: arm, run, expect non-OK").
@@ -62,6 +119,22 @@ std::vector<std::string> KnownFailpoints();
 #else
 #define BRYQL_FAILPOINT(name) \
   do {                        \
+  } while (false)
+#endif
+
+/// Injection site that *throws* when armed — simulates an operator whose
+/// fault escapes as an exception instead of a Status, for testing the
+/// dispatch-level exception barrier. Valid in any function.
+#ifdef BRYQL_FAILPOINTS
+#define BRYQL_FAILPOINT_THROW(name)                \
+  do {                                             \
+    if (::bryql::failpoints::AnyArmed()) {         \
+      ::bryql::failpoints::HitOrThrow(name);       \
+    }                                              \
+  } while (false)
+#else
+#define BRYQL_FAILPOINT_THROW(name) \
+  do {                              \
   } while (false)
 #endif
 

@@ -71,6 +71,17 @@ struct QueryOptions {
   /// plan is *driven*, not what it is, so one cached plan serves any
   /// parallelism degree.
   size_t num_threads = 0;
+  /// Skip the plan cache for this run: preparation runs cold and the
+  /// result is not cached. A degradation rung of the service layer — a
+  /// plan suspected of being poisoned (e.g. it keeps failing while peers
+  /// succeed) is rebuilt from the text without evicting anything.
+  bool bypass_plan_cache = false;
+  /// Run on the tuple-at-a-time (volcano) engine regardless of the
+  /// processor's configured mode. The service layer's last degradation
+  /// rung: the simplest engine, serial by construction, bypassing the
+  /// batched physical operators entirely. Like num_threads, this picks
+  /// how a plan is *driven* and is absent from the plan-cache key.
+  bool force_tuple_engine = false;
 
   /// Everything unlimited — the pre-governor behaviour, for benchmarks.
   static QueryOptions Unlimited();

@@ -27,6 +27,11 @@ enum class StatusCode {
   kDeadlineExceeded,
   /// The evaluation was aborted through its CancellationToken.
   kCancelled,
+  /// A transient infrastructure fault (injected fault, contained
+  /// exception, momentary overload): the query itself is fine and an
+  /// identical retry may succeed. This is the retryable class the
+  /// service layer's backoff loop keys on.
+  kTransient,
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -69,6 +74,9 @@ class Status {
   static Status Cancelled(std::string message) {
     return Status(StatusCode::kCancelled, std::move(message));
   }
+  static Status Transient(std::string message) {
+    return Status(StatusCode::kTransient, std::move(message));
+  }
 
   /// True for the three resource-governor codes — the errors that mean
   /// "the query was stopped", not "the query is wrong".
@@ -77,6 +85,11 @@ class Status {
            code_ == StatusCode::kDeadlineExceeded ||
            code_ == StatusCode::kCancelled;
   }
+
+  /// True for kTransient — the error class where retrying the identical
+  /// request is sensible. The resource errors above are deliberately not
+  /// transient: a budget verdict is a property of the query, not of luck.
+  bool IsTransient() const { return code_ == StatusCode::kTransient; }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

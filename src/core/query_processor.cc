@@ -175,15 +175,21 @@ std::string QueryProcessor::CacheKey(const std::string& text,
 Result<PreparedQueryPtr> QueryProcessor::PrepareInternal(
     const std::string& text, Strategy strategy, const QueryOptions& options,
     ResourceGovernor* governor, bool* cache_hit) const {
-  const std::string key = CacheKey(text, strategy, options);
-  if (PreparedQueryPtr cached = cache_.Get(key)) {
-    if (cached->db_version == db_->version()) {
-      *cache_hit = true;
-      return cached;
+  // A cache-bypass run (degradation rung: "the cached plan may be the
+  // problem") prepares cold and leaves the cache untouched either way.
+  const bool use_cache = !options.bypass_plan_cache;
+  const std::string key =
+      use_cache ? CacheKey(text, strategy, options) : std::string();
+  if (use_cache) {
+    if (PreparedQueryPtr cached = cache_.Get(key)) {
+      if (cached->db_version == db_->version()) {
+        *cache_hit = true;
+        return cached;
+      }
+      // The catalog moved under the cached plan (relation replaced, index
+      // built): arities and access paths may have changed, so re-prepare
+      // from the text. The refreshed entry replaces the stale one below.
     }
-    // The catalog moved under the cached plan (relation replaced, index
-    // built): arities and access paths may have changed, so re-prepare
-    // from the text. The refreshed entry replaces the stale one below.
   }
   *cache_hit = false;
   CountPhase(&PrepareCounters::parses);
@@ -205,7 +211,7 @@ Result<PreparedQueryPtr> QueryProcessor::PrepareInternal(
   }
   prepared->db_version = db_->version();
   PreparedQueryPtr shared = std::move(prepared);
-  cache_.Put(key, shared);
+  if (use_cache) cache_.Put(key, shared);
   return shared;
 }
 
@@ -233,12 +239,19 @@ Result<Execution> QueryProcessor::ExecuteInternal(
     exec.stats = eval.stats();
     return exec;
   }
-  Executor executor(db_, exec_options_, governor);
+  // The tuple-engine override (service degradation rung) is a per-run
+  // knob carried on the governor's options, never processor state — the
+  // plan cache and concurrent runs are unaffected.
+  ExecOptions exec_options = exec_options_;
+  if (governor->options().force_tuple_engine) {
+    exec_options.mode = ExecOptions::Mode::kTupleAtATime;
+  }
+  Executor executor(db_, exec_options, governor);
   // The prepared physical plan is the fast path; fall back to lowering
   // from the logical plan when the engine is in tuple-at-a-time mode or
   // the catalog moved since preparation.
   const bool use_physical =
-      exec_options_.mode == ExecOptions::Mode::kBatched &&
+      exec_options.mode == ExecOptions::Mode::kBatched &&
       prepared.physical != nullptr && prepared.db_version == db_->version();
   if (prepared.query.closed()) {
     bool truth = false;
@@ -287,7 +300,11 @@ Result<Execution> QueryProcessor::RunQuery(const Query& query,
     exec.stats = eval.stats();
     return exec;
   }
-  Executor executor(db_, exec_options_, &governor);
+  ExecOptions exec_options = exec_options_;
+  if (options.force_tuple_engine) {
+    exec_options.mode = ExecOptions::Mode::kTupleAtATime;
+  }
+  Executor executor(db_, exec_options, &governor);
   if (query.closed()) {
     BRYQL_ASSIGN_OR_RETURN(bool truth, executor.EvaluateBool(exec.plan));
     exec.answer.closed = true;

@@ -109,8 +109,12 @@ struct PrepareCounters {
 /// expose the same split to callers that want to hold on to a plan.
 class QueryProcessor {
  public:
-  /// `db` must outlive the processor.
-  explicit QueryProcessor(const Database* db) : db_(db) {}
+  /// `db` must outlive the processor. `plan_cache_capacity` bounds the
+  /// LRU plan cache (tests shrink it to force churn).
+  explicit QueryProcessor(
+      const Database* db,
+      size_t plan_cache_capacity = PlanCache::kDefaultCapacity)
+      : db_(db), cache_(plan_cache_capacity) {}
 
   /// Registers views (Definition 1); atoms over view names are expanded
   /// before normalization. `views` must outlive the processor.

@@ -1,6 +1,9 @@
 #include "exec/physical/runtime.h"
 
 #include <chrono>
+#include <exception>
+#include <new>
+#include <string>
 #include <utility>
 
 #include "algebra/predicate.h"
@@ -23,34 +26,75 @@ uint64_t NowNs() {
           .count());
 }
 
-/// Decorator feeding ExecStats::operator_stats. It holds an *index* into
-/// the vector, not a pointer — the vector grows while the plan is being
+/// Decorator feeding ExecStats::operator_stats, and the engine's
+/// exception-isolation barrier: every Open/NextBatch/Close dispatch runs
+/// inside try/catch, so a throwing operator — std::bad_alloc under memory
+/// pressure, a std::exception escaping operator code, or the
+/// "exec.physical.throw" failpoint simulating either — surfaces as a
+/// well-formed kInternal naming the operator instead of unwinding out of
+/// PlanRuntime::Run (or, worse, out of a ThreadPool worker closure, which
+/// would terminate the process). It holds an *index* into the stats
+/// vector, not a pointer — the vector grows while the plan is being
 /// instantiated.
 class TimedOp : public PhysicalOperator {
  public:
-  TimedOp(PhysicalOpPtr inner, ExecStats* stats, size_t index)
-      : inner_(std::move(inner)), stats_(stats), index_(index) {}
+  TimedOp(PhysicalOpPtr inner, std::string label, ExecStats* stats,
+          size_t index, ResourceGovernor* governor)
+      : inner_(std::move(inner)), label_(std::move(label)), stats_(stats),
+        index_(index), governor_(governor) {}
   Status Open() override {
     const uint64_t start = NowNs();
-    Status status = inner_->Open();
+    Status status = Guarded([&] {
+      BRYQL_FAILPOINT_THROW("exec.physical.throw");
+      return inner_->Open();
+    });
     stats_->operator_stats[index_].open_ns += NowNs() - start;
     return status;
   }
   Status NextBatch(TupleBatch* out) override {
     const uint64_t start = NowNs();
-    Status status = inner_->NextBatch(out);
+    Status status = Guarded([&] {
+      BRYQL_FAILPOINT_THROW("exec.physical.throw");
+      return inner_->NextBatch(out);
+    });
     OperatorStats& os = stats_->operator_stats[index_];
     os.next_ns += NowNs() - start;
     ++os.batches;
     os.rows += out->size();
     return status;
   }
-  void Close() override { inner_->Close(); }
+  void Close() override {
+    // Close is void; a throw here is contained by latching the governor,
+    // so the run still finishes with a non-OK Status instead of a crash.
+    Status status = Guarded([&] {
+      inner_->Close();
+      return Status::Ok();
+    });
+    if (!status.ok() && governor_ != nullptr) governor_->Trip(status);
+  }
 
  private:
+  template <typename Fn>
+  Status Guarded(const Fn& fn) {
+    try {
+      return fn();
+    } catch (const std::bad_alloc&) {
+      return Status::Internal("operator '" + label_ +
+                              "' ran out of memory (bad_alloc)");
+    } catch (const std::exception& e) {
+      return Status::Internal("operator '" + label_ +
+                              "' threw: " + e.what());
+    } catch (...) {
+      return Status::Internal("operator '" + label_ +
+                              "' threw a non-standard exception");
+    }
+  }
+
   PhysicalOpPtr inner_;
+  std::string label_;
   ExecStats* stats_;
   size_t index_;
+  ResourceGovernor* governor_;
 };
 
 }  // namespace
@@ -78,7 +122,8 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
     if (const Relation* rel = ctx_.shared->FindRelation(node.get())) {
       op = PhysicalOpPtr(new BorrowedRelationScanOp(
           &rel->rows(), ctx_.shared->FindMorsels(node.get())));
-      return PhysicalOpPtr(new TimedOp(std::move(op), ctx_.stats, op_index));
+      return PhysicalOpPtr(new TimedOp(std::move(op), node->Label(),
+                                       ctx_.stats, op_index, ctx_.governor));
     }
   }
   // In serial runs every Find* below is a null `shared` short-circuit;
@@ -251,7 +296,8 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
     }
   }
   if (op == nullptr) return Status::Internal("unknown physical kind");
-  return PhysicalOpPtr(new TimedOp(std::move(op), ctx_.stats, op_index));
+  return PhysicalOpPtr(new TimedOp(std::move(op), node->Label(), ctx_.stats,
+                                   op_index, ctx_.governor));
 }
 
 Result<Relation> PlanRuntime::Run(const PhysicalPlanPtr& plan) {
@@ -261,6 +307,10 @@ Result<Relation> PlanRuntime::Run(const PhysicalPlanPtr& plan) {
   Status drained = DrainToRelation(op.get(), plan->arity, ctx_, &rel);
   op->Close();
   BRYQL_RETURN_NOT_OK(drained);
+  // A fault contained during Close (exception barrier) latches the
+  // governor rather than interrupting the drain; don't report a clean
+  // answer over it.
+  BRYQL_RETURN_NOT_OK(ctx_.governor->status());
   return rel;
 }
 

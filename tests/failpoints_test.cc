@@ -169,5 +169,127 @@ TEST_F(FailpointsTest, InjectedResourceStatusKeepsItsCode) {
   EXPECT_EQ(exec.status().code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST_F(FailpointsTest, TransientInjectionKeepsItsCode) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  failpoints::Arm("exec.scan.open", Status::Transient("flaky scan"));
+  auto exec = qp.Run(kFullPipelineQuery, Strategy::kBry);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kTransient);
+}
+
+TEST_F(FailpointsTest, ThrowSiteIsContainedAsInternalWithOperatorName) {
+  // The exception-isolation barrier at the physical-operator dispatch:
+  // a throwing operator surfaces as kInternal naming the operator, never
+  // as an exception escaping Run.
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  failpoints::Arm("exec.physical.throw", Status::Internal("synthetic throw"));
+  auto exec = qp.Run(kFullPipelineQuery, Strategy::kBry);
+  ASSERT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kInternal);
+  EXPECT_NE(exec.status().message().find("operator '"), std::string::npos)
+      << exec.status();
+  EXPECT_NE(exec.status().message().find("threw"), std::string::npos)
+      << exec.status();
+  // The volcano engine has no physical-operator dispatch, so the site is
+  // off its path — the degradation ladder's escape hatch.
+  QueryOptions tuple_options;
+  tuple_options.force_tuple_engine = true;
+  auto volcano = qp.Run(kFullPipelineQuery, Strategy::kBry, tuple_options);
+  EXPECT_TRUE(volcano.ok()) << volcano.status();
+}
+
+TEST_F(FailpointsTest, ProbabilisticScheduleIsSeedDeterministic) {
+  auto pattern = [](uint64_t seed, size_t hits) {
+    failpoints::DisarmAll();
+    failpoints::ArmProbabilistic("chaos.test.site",
+                                 Status::Transient("injected"), 0.5, seed);
+    std::string fired;
+    for (size_t i = 0; i < hits; ++i) {
+      fired += failpoints::Hit("chaos.test.site").ok() ? '.' : 'X';
+    }
+    return fired;
+  };
+  const std::string a = pattern(42, 200);
+  const std::string b = pattern(42, 200);
+  EXPECT_EQ(a, b) << "same seed must give the same fault schedule";
+  EXPECT_NE(a, pattern(43, 200))
+      << "different seeds should give different schedules";
+  // At p=0.5 over 200 hits, both outcomes must occur.
+  EXPECT_NE(a.find('X'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+}
+
+TEST_F(FailpointsTest, ProbabilityExtremesNeverAndAlwaysFire) {
+  failpoints::ArmProbabilistic("chaos.never", Status::Transient("x"), 0.0, 7);
+  failpoints::ArmProbabilistic("chaos.always", Status::Transient("x"), 1.0, 7);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(failpoints::Hit("chaos.never").ok());
+    EXPECT_FALSE(failpoints::Hit("chaos.always").ok());
+  }
+}
+
+TEST_F(FailpointsTest, StatsCountHitsAndFires) {
+  failpoints::ResetStats();
+  failpoints::ArmProbabilistic("chaos.counted",
+                               Status::Transient("x"), 0.5, 42);
+  size_t fires = 0;
+  for (size_t i = 0; i < 100; ++i) {
+    if (!failpoints::Hit("chaos.counted").ok()) ++fires;
+  }
+  auto stats = failpoints::Stats();
+  ASSERT_EQ(stats.count("chaos.counted"), 1u);
+  EXPECT_EQ(stats["chaos.counted"].hits, 100u);
+  EXPECT_EQ(stats["chaos.counted"].fires, fires);
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 100u);
+  failpoints::ResetStats();
+  EXPECT_TRUE(failpoints::Stats().empty());
+}
+
+TEST_F(FailpointsTest, SpecParserArmsEveryTriggerForm) {
+  ASSERT_TRUE(failpoints::ArmFromSpec(
+                  "exec.scan.open, exec.hash.insert=skip2,"
+                  "exec.materialize.insert=p0.25@seed42")
+                  .ok());
+  // Bare site: always fires, with the Transient class.
+  Status bare = failpoints::Hit("exec.scan.open");
+  ASSERT_FALSE(bare.ok());
+  EXPECT_EQ(bare.code(), StatusCode::kTransient);
+  EXPECT_NE(bare.message().find("exec.scan.open"), std::string::npos);
+  // skip2: two free passes, then fires.
+  EXPECT_TRUE(failpoints::Hit("exec.hash.insert").ok());
+  EXPECT_TRUE(failpoints::Hit("exec.hash.insert").ok());
+  EXPECT_FALSE(failpoints::Hit("exec.hash.insert").ok());
+  // p0.25@seed42: some of 200 hits fire, most don't.
+  size_t fires = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    if (!failpoints::Hit("exec.materialize.insert").ok()) ++fires;
+  }
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, 150u);
+}
+
+TEST_F(FailpointsTest, SpecParserRejectsMalformedEntries) {
+  EXPECT_EQ(failpoints::ArmFromSpec("site=p0.5").code(),
+            StatusCode::kInvalidArgument);  // missing @seed
+  EXPECT_EQ(failpoints::ArmFromSpec("site=p1.5@seed1").code(),
+            StatusCode::kInvalidArgument);  // probability out of range
+  EXPECT_EQ(failpoints::ArmFromSpec("site=pX@seed1").code(),
+            StatusCode::kInvalidArgument);  // unparsable probability
+  EXPECT_EQ(failpoints::ArmFromSpec("site=p0.5@seedX").code(),
+            StatusCode::kInvalidArgument);  // unparsable seed
+  EXPECT_EQ(failpoints::ArmFromSpec("site=skipX").code(),
+            StatusCode::kInvalidArgument);  // unparsable skip
+  EXPECT_EQ(failpoints::ArmFromSpec("site=explode").code(),
+            StatusCode::kInvalidArgument);  // unknown trigger
+  EXPECT_EQ(failpoints::ArmFromSpec("=p0.5@seed1").code(),
+            StatusCode::kInvalidArgument);  // empty site
+  // Empty / whitespace-only specs are fine no-ops.
+  EXPECT_TRUE(failpoints::ArmFromSpec("").ok());
+  EXPECT_TRUE(failpoints::ArmFromSpec(" , ,").ok());
+}
+
 }  // namespace
 }  // namespace bryql

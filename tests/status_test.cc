@@ -30,6 +30,21 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Transient("x").code(), StatusCode::kTransient);
+}
+
+TEST(StatusTest, TransientClassification) {
+  // The retryable class is exactly kTransient: resource verdicts are
+  // deliberate decisions (retrying the identical request would repeat
+  // them), semantic errors are properties of the query.
+  EXPECT_TRUE(Status::Transient("flaky").IsTransient());
+  EXPECT_FALSE(Status::Transient("flaky").IsResourceError());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsTransient());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsTransient());
+  EXPECT_FALSE(Status::Cancelled("x").IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+  EXPECT_FALSE(Status::Ok().IsTransient());
 }
 
 TEST(StatusTest, ResourceErrorClassification) {
@@ -55,6 +70,7 @@ TEST(StatusTest, CodeNames) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
                "DeadlineExceeded");
   EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTransient), "Transient");
 }
 
 Result<int> Half(int x) {
