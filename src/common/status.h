@@ -77,6 +77,17 @@ class Status {
   static Status Transient(std::string message) {
     return Status(StatusCode::kTransient, std::move(message));
   }
+  /// A kInternal produced by an exception-containment barrier (an
+  /// operator or pipeline throw caught and converted to Status). Same
+  /// code as Internal — the throw is still a bug or an environmental
+  /// fault inside bryql — but tagged so retry layers can tell "a throw
+  /// we contained, possibly injected or allocation-induced, worth
+  /// retrying" apart from a deterministic invariant breach.
+  static Status ContainedException(std::string message) {
+    Status status(StatusCode::kInternal, std::move(message));
+    status.contained_exception_ = true;
+    return status;
+  }
 
   /// True for the three resource-governor codes — the errors that mean
   /// "the query was stopped", not "the query is wrong".
@@ -91,6 +102,11 @@ class Status {
   /// transient: a budget verdict is a property of the query, not of luck.
   bool IsTransient() const { return code_ == StatusCode::kTransient; }
 
+  /// True only for statuses built via ContainedException. Other
+  /// kInternal statuses (a broken invariant detected by the code itself)
+  /// are deterministic and must not be retried or relabelled transient.
+  bool IsContainedException() const { return contained_exception_; }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -101,6 +117,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  bool contained_exception_ = false;
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

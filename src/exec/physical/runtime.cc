@@ -76,17 +76,20 @@ class TimedOp : public PhysicalOperator {
  private:
   template <typename Fn>
   Status Guarded(const Fn& fn) {
+    // ContainedException (still kInternal) rather than Internal: the tag
+    // marks the retryable barrier class for the service layer, while a
+    // deterministic invariant breach stays a plain, non-retried Internal.
     try {
       return fn();
     } catch (const std::bad_alloc&) {
-      return Status::Internal("operator '" + label_ +
-                              "' ran out of memory (bad_alloc)");
+      return Status::ContainedException("operator '" + label_ +
+                                        "' ran out of memory (bad_alloc)");
     } catch (const std::exception& e) {
-      return Status::Internal("operator '" + label_ +
-                              "' threw: " + e.what());
+      return Status::ContainedException("operator '" + label_ +
+                                        "' threw: " + e.what());
     } catch (...) {
-      return Status::Internal("operator '" + label_ +
-                              "' threw a non-standard exception");
+      return Status::ContainedException("operator '" + label_ +
+                                        "' threw a non-standard exception");
     }
   }
 

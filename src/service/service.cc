@@ -26,9 +26,13 @@ double ToUnit(uint64_t r) {
 }
 
 /// An attempt error the retry loop may act on: injected transience, or an
-/// exception the engine barrier (or our backstop) contained as kInternal.
+/// exception the engine barrier (or our backstop) contained — tagged via
+/// Status::ContainedException. A plain kInternal is a deterministic bug
+/// ("unknown physical kind", a broken invariant): retrying it is noise and
+/// relabelling it transient would invite clients to retry forever, so it
+/// passes through verbatim.
 bool Retryable(const Status& status) {
-  return status.IsTransient() || status.code() == StatusCode::kInternal;
+  return status.IsTransient() || status.IsContainedException();
 }
 
 constexpr uint64_t kInitialLatencyEstimateNs = 500 * 1000;  // 0.5ms
@@ -191,11 +195,16 @@ void QueryService::Release() {
 }
 
 void QueryService::RecordLatency(std::chrono::nanoseconds elapsed) {
-  // EWMA, alpha = 1/8; lossy racy updates are fine for an estimator.
-  const uint64_t sample = static_cast<uint64_t>(
-      std::max<int64_t>(1, elapsed.count()));
-  uint64_t old = avg_latency_ns_.load(std::memory_order_relaxed);
-  avg_latency_ns_.store(old + (sample - old) / 8,
+  // EWMA, alpha = 1/8; lossy racy updates are fine for an estimator. The
+  // delta must be signed: samples below the current average are the common
+  // case (the initial estimate is deliberately pessimistic), and an
+  // unsigned `sample - old` would wrap to ~2^61 ns and poison every
+  // deadline-aware admission decision from then on.
+  const int64_t sample = std::max<int64_t>(1, elapsed.count());
+  const int64_t old = static_cast<int64_t>(
+      avg_latency_ns_.load(std::memory_order_relaxed));
+  const int64_t next = old + (sample - old) / 8;
+  avg_latency_ns_.store(static_cast<uint64_t>(std::max<int64_t>(1, next)),
                         std::memory_order_relaxed);
 }
 
@@ -208,12 +217,14 @@ Result<Execution> QueryService::RunAttempt(
   try {
     return processor_->Run(request.text, request.strategy, attempt_options);
   } catch (const std::bad_alloc&) {
-    return Status::Internal("query evaluation ran out of memory (bad_alloc)");
+    return Status::ContainedException(
+        "query evaluation ran out of memory (bad_alloc)");
   } catch (const std::exception& e) {
-    return Status::Internal(std::string("query evaluation threw: ") +
-                            e.what());
+    return Status::ContainedException(
+        std::string("query evaluation threw: ") + e.what());
   } catch (...) {
-    return Status::Internal("query evaluation threw a non-standard exception");
+    return Status::ContainedException(
+        "query evaluation threw a non-standard exception");
   }
 }
 
@@ -230,6 +241,16 @@ Result<ServiceReply> QueryService::Submit(const ServiceRequest& request) {
     failed_.fetch_add(1, std::memory_order_relaxed);
     return admit.status;
   }
+
+  // The slot is held by a scope guard, not a bare Release() at the end:
+  // the attempt loop's own barrier covers processor_->Run, but a throw
+  // anywhere else in this frame (bad_alloc building a Status or copying
+  // options under memory pressure) must not leak a concurrency slot —
+  // that would wedge co-resident clients forever.
+  struct SlotGuard {
+    QueryService* service;
+    ~SlotGuard() { service->Release(); }
+  } slot_guard{this};
 
   // Overload degradation: when the queue was congested at admission, new
   // work starts one rung down (serial) so the backlog drains faster.
@@ -310,8 +331,6 @@ Result<ServiceReply> QueryService::Submit(const ServiceRequest& request) {
     if (sleep.count() > 0) std::this_thread::sleep_for(sleep);
     retries_.fetch_add(1, std::memory_order_relaxed);
   }
-
-  Release();
 
   if (outcome.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);

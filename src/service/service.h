@@ -31,9 +31,11 @@ const char* PriorityName(Priority priority);
 
 /// Automatic-retry knobs: exponential backoff with deterministic,
 /// seed-derived jitter. Retries apply to the *transient* error class —
-/// Status::IsTransient() and kInternal faults contained by the engine's
-/// exception barrier — never to resource verdicts (a budget trip is a
-/// property of the query, not of luck) or to semantic errors.
+/// Status::IsTransient() and kInternal faults tagged by an exception
+/// barrier (Status::IsContainedException()) — never to resource verdicts
+/// (a budget trip is a property of the query, not of luck), to semantic
+/// errors, or to plain kInternal invariant breaches (a deterministic bug
+/// retries the same way every time).
 struct RetryPolicy {
   /// Total tries including the first. 1 = no retries.
   size_t max_attempts = 4;
@@ -107,7 +109,7 @@ struct ServiceStats {
   /// Retry attempts performed (not counting first tries).
   size_t retries = 0;
   /// Attempts that failed with the transient class (kTransient, or
-  /// kInternal contained by the exception barrier).
+  /// barrier-contained kInternal — Status::IsContainedException()).
   size_t transient_failures = 0;
   /// Attempts run at each degradation rung (an attempt at rung 3 counts
   /// in all three).
@@ -167,8 +169,10 @@ class QueryService {
   ///   * kDeadlineExceeded / kCancelled — the caller's own limits;
   ///   * kTransient — every attempt failed with a transient fault; the
   ///     last underlying error is in the message;
-  ///   * any other code — the query is genuinely wrong (parse/semantic
-  ///     errors pass through untouched, retrying them would be noise).
+  ///   * any other code — the query or the engine is genuinely wrong
+  ///     (parse/semantic errors and untagged kInternal invariant breaches
+  ///     pass through untouched: retrying or relabelling a deterministic
+  ///     failure would only invite client retry loops on a permanent bug).
   Result<ServiceReply> Submit(const ServiceRequest& request);
 
   /// Convenience wrapper building the request inline.

@@ -208,6 +208,62 @@ TEST(QueryServiceTest, DeadlineAwareRejectionShedsDoomedRequests) {
   EXPECT_GE(service.stats().rejected_deadline, 1u);
 }
 
+TEST(QueryServiceTest, FastQueriesDoNotPoisonTheLatencyEstimator) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.max_queue_depth = 1;
+  QueryService service(&qp, options);
+
+  // Microsecond-scale queries pull the latency EWMA *down* from its
+  // deliberately pessimistic 0.5ms initial estimate. A signed-arithmetic
+  // bug here once wrapped the average to ~2^61 ns on the very first fast
+  // sample, after which every deadlined request was shed regardless of
+  // load and retry-after hints spanned decades.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(service.Run(kClosedQuery).ok());
+  }
+
+  CancellationToken token;
+  QueryOptions held;
+  held.cancellation = &token;
+  std::thread holder([&] {
+    (void)service.Run(kHoldQuery, Strategy::kNestedLoop, held);
+  });
+  const bool holder_running =
+      WaitFor([&] { return service.stats().admitted >= 9; });
+
+  // The slot is busy but the queue is empty: with a healthy estimator a
+  // ten-second deadline dwarfs the expected wait, so this request must
+  // queue and eventually answer — not be shed as doomed.
+  QueryOptions generous;
+  generous.deadline = 10s;
+  std::thread queued([&] {
+    auto reply = service.Run(kClosedQuery, Strategy::kBry, generous);
+    EXPECT_TRUE(reply.ok()) << reply.status();
+  });
+  const bool seat_taken = holder_running &&
+      WaitFor([&] { return service.stats().peak_waiting >= 1; });
+
+  // And a caller shed off the now-full queue must get a hint measured in
+  // milliseconds, not millennia.
+  auto shed = service.Run(kClosedQuery);
+  token.Cancel();
+  holder.join();
+  queued.join();
+
+  ASSERT_TRUE(holder_running);
+  ASSERT_TRUE(seat_taken);
+  ASSERT_FALSE(shed.ok());
+  ASSERT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  const uint64_t hint_ms = RetryAfterMsHint(shed.status());
+  EXPECT_GE(hint_ms, 1u);
+  EXPECT_LT(hint_ms, 600000u) << shed.status();
+  EXPECT_EQ(service.stats().rejected_deadline, 0u)
+      << "a generously deadlined request was shed from an empty queue";
+}
+
 TEST(QueryServiceTest, PriorityOrdersTheAdmissionQueue) {
   Database db = MakeUniversity(SmallConfig(3));
   QueryProcessor qp(&db);
@@ -389,6 +445,32 @@ TEST_F(ServiceFailpointTest, DegradationLadderEscapesThrowSite) {
   auto stuck = undegraded.Run(kOpenQuery);
   ASSERT_FALSE(stuck.ok());
   EXPECT_EQ(stuck.status().code(), StatusCode::kTransient);
+}
+
+TEST_F(ServiceFailpointTest, PlainInternalFailureIsNeitherRetriedNorRelabelled) {
+  Database db = MakeUniversity(SmallConfig(3));
+  QueryProcessor qp(&db);
+  ServiceOptions options;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = 100us;
+  QueryService service(&qp, options);
+
+  // A deterministic invariant breach — plain kInternal, not the tagged
+  // barrier class — fails the same way on every attempt. The service
+  // must return it verbatim after one try: retrying burns budget for
+  // nothing, and a kTransient relabel ("try again later") would invite
+  // clients to retry a permanent bug forever.
+  failpoints::Arm("exec.scan.open", Status::Internal("broken invariant"));
+  auto reply = service.Run(kClosedQuery);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(reply.status().IsContainedException());
+  EXPECT_EQ(reply.status().message(), "broken invariant")
+      << "a deterministic kInternal must pass through unwrapped";
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.transient_failures, 0u);
+  EXPECT_EQ(stats.failed, 1u);
 }
 
 TEST_F(ServiceFailpointTest, DeadlineBoundsRetriesAndBackoff) {

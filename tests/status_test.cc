@@ -47,6 +47,24 @@ TEST(StatusTest, TransientClassification) {
   EXPECT_FALSE(Status::Ok().IsTransient());
 }
 
+TEST(StatusTest, ContainedExceptionTagging) {
+  // Barrier-contained throws share kInternal with deterministic invariant
+  // breaches but carry a tag: the tag (not the code) is what admits an
+  // error to the service layer's retry class.
+  Status contained = Status::ContainedException("operator 'scan' threw");
+  EXPECT_EQ(contained.code(), StatusCode::kInternal);
+  EXPECT_TRUE(contained.IsContainedException());
+  EXPECT_FALSE(contained.IsTransient());
+  EXPECT_EQ(contained.ToString(), "Internal: operator 'scan' threw");
+  EXPECT_FALSE(Status::Internal("broken invariant").IsContainedException());
+  EXPECT_FALSE(Status::Transient("flaky").IsContainedException());
+  EXPECT_FALSE(Status::Ok().IsContainedException());
+  // The tag must survive copies — retry layers inspect it many frames
+  // away from the throw site.
+  Status copy = contained;
+  EXPECT_TRUE(copy.IsContainedException());
+}
+
 TEST(StatusTest, ResourceErrorClassification) {
   EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceError());
   EXPECT_TRUE(Status::DeadlineExceeded("x").IsResourceError());
