@@ -82,4 +82,4 @@ BENCHMARK(BM_EndToEnd_Classical)->Apply(Args);
 }  // namespace
 }  // namespace bryql
 
-BENCHMARK_MAIN();
+BRYQL_BENCH_MAIN();

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/query_processor.h"
 #include "exec/executor.h"
@@ -104,7 +105,50 @@ inline size_t AnswerSize(const Execution& exec) {
                             : exec.answer.relation.size();
 }
 
+/// Rewrites the repo-local `--json[=FILE]` convenience flag into the
+/// Google Benchmark flags it abbreviates, before Initialize() parses the
+/// command line. Bare `--json` switches the console reporter to JSON
+/// (stdout is the machine-readable report, ready to redirect into a
+/// BENCH_*.json artifact); `--json=FILE` keeps the human console output
+/// and writes the JSON report to FILE. `storage` owns the rewritten
+/// strings and must outlive the returned pointers.
+inline std::vector<char*> RewriteJsonFlag(int argc, char** argv,
+                                          std::vector<std::string>* storage) {
+  storage->clear();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      storage->push_back("--benchmark_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      storage->push_back("--benchmark_out=" + arg.substr(7));
+      storage->push_back("--benchmark_out_format=json");
+    } else {
+      storage->push_back(arg);
+    }
+  }
+  std::vector<char*> out;
+  out.reserve(storage->size());
+  for (std::string& s : *storage) out.push_back(s.data());
+  return out;
+}
+
 }  // namespace bench
 }  // namespace bryql
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands `--json`.
+#define BRYQL_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                         \
+    std::vector<std::string> storage;                                       \
+    std::vector<char*> args =                                               \
+        ::bryql::bench::RewriteJsonFlag(argc, argv, &storage);              \
+    int args_count = static_cast<int>(args.size());                        \
+    ::benchmark::Initialize(&args_count, args.data());                      \
+    if (::benchmark::ReportUnrecognizedArguments(args_count, args.data()))  \
+      return 1;                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                                  \
+    ::benchmark::Shutdown();                                                \
+    return 0;                                                               \
+  }                                                                         \
+  static_assert(true, "require a trailing semicolon")
 
 #endif  // BRYQL_BENCH_BENCH_UTIL_H_

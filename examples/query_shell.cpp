@@ -20,6 +20,9 @@
 //                             quel-counting | classical | nested-loop
 //   .threads <n>              morsel-parallel execution with n workers
 //                             (0 = serial, the default)
+//   .columnar on|off          build column stores and let the lowering
+//                             pick zone-pruned columnar scans (off =
+//                             row path only; answers never change)
 //   .service                  toggle the fault-tolerant front door
 //                             (DESIGN.md §9): admission, retries,
 //                             degradation; pairs with BRYQL_FAILPOINTS
@@ -65,6 +68,7 @@ int main(int argc, char** argv) {
   bool domain_closure = false;
   size_t num_threads = 0;
   bool use_service = false;
+  bool use_columnar = false;
 
   // Arms any faults requested via the BRYQL_FAILPOINTS environment
   // variable (no-op when unset or when failpoints are compiled out).
@@ -97,8 +101,8 @@ int main(int argc, char** argv) {
                 << "commands: .load name file.csv | .rel name rows... ; |\n"
                 << "          .relations | .explain <query> | "
                    ".explain physical <query> |\n"
-                << "          .strategy <name> | .threads <n> | .service | "
-                   ".quit\n";
+                << "          .strategy <name> | .threads <n> | "
+                   ".columnar on|off | .service | .quit\n";
       continue;
     }
     if (line == ".relations") {
@@ -130,6 +134,15 @@ int main(int argc, char** argv) {
       } else {
         std::cout << "usage: .threads <n>\n";
       }
+      continue;
+    }
+    if (line == ".columnar on" || line == ".columnar off") {
+      use_columnar = line == ".columnar on";
+      if (use_columnar) db.EnableColumnarAll();
+      std::cout << "columnar " << (use_columnar ? "on" : "off")
+                << (use_columnar ? " (column stores built, zone-pruned scans)"
+                                 : " (row path)")
+                << "\n";
       continue;
     }
     if (line == ".service") {
@@ -215,9 +228,17 @@ int main(int argc, char** argv) {
       std::cout << "defined " << name << "\n";
       continue;
     }
+    // Relations loaded after `.columnar on` get their stores here;
+    // EnableColumnarAll only builds what is missing, so this is cheap.
+    if (use_columnar) db.EnableColumnarAll();
     QueryProcessor qp(&db);
     qp.SetViews(&views);
     qp.EnableDomainClosure(domain_closure);
+    if (!use_columnar) {
+      ExecOptions exec_options;
+      exec_options.use_columnar = false;
+      qp.SetExecOptions(exec_options);
+    }
     if (line.rfind(".cost ", 0) == 0) {
       auto exec = qp.Explain(line.substr(6), strategy);
       if (!exec.ok() || exec->plan == nullptr) {

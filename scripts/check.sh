@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification, four times:
-#   1. the plain release configuration (what CI and benchmarks use),
-#   2. an ASan+UBSan configuration with failpoints compiled in, so the
+# Tier-1 verification, five times:
+#   1. the plain configuration (what CI and benchmarks use),
+#   2. a Release (-O2 -DNDEBUG) configuration running the full suite —
+#      the vectorized columnar kernels only show their real codegen with
+#      optimization on, and the row/columnar differential suite must
+#      hold there too, and
+#   3. an ASan+UBSan configuration with failpoints compiled in, so the
 #      fault-injection stress tests actually run and every injected
 #      failure path is checked for leaks and UB, and
-#   3. a TSan configuration running the parallel-execution and service
+#   4. a TSan configuration running the parallel-execution and service
 #      tests, so the morsel-driven runtime's sharing (morsel dispensers,
 #      shared builds, sharded seen-sets, budget reconciliation) and the
 #      service layer's admission/retry machinery are race-checked, and
-#   4. a chaos sweep: the seeded fault-injection harness re-run across
+#   5. a chaos sweep: the seeded fault-injection harness re-run across
 #      fixed seeds against the failpoints build, asserting every reply
 #      under randomized faults is either the fault-free oracle answer or
 #      a clean retryable error.
@@ -19,12 +23,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/4] plain build + tests =="
+echo "== [1/5] plain build + tests =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/4] sanitized build (address;undefined) + failpoints + tests =="
+echo "== [2/5] Release (-O2 -DNDEBUG) build + tests =="
+cmake -B build-rel -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-rel -j "$JOBS"
+ctest --test-dir build-rel --output-on-failure -j "$JOBS"
+
+echo "== [3/5] sanitized build (address;undefined) + failpoints + tests =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBRYQL_SANITIZE="address;undefined" \
@@ -32,7 +41,7 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "== [3/4] thread-sanitized build + parallel/service tests =="
+echo "== [4/5] thread-sanitized build + parallel/service tests =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DBRYQL_SANITIZE="thread" \
@@ -45,7 +54,7 @@ cmake --build build-tsan -j "$JOBS"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
   -R 'parallel|plan_cache|prepared|service'
 
-echo "== [4/4] chaos seed sweep (failpoints build) =="
+echo "== [5/5] chaos seed sweep (failpoints build) =="
 cmake -B build-chaos -S . -DBRYQL_FAILPOINTS=ON >/dev/null
 cmake --build build-chaos -j "$JOBS" --target chaos_service_test
 # Each seed fully determines the fault schedule; a failing seed

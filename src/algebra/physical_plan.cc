@@ -30,6 +30,8 @@ const char* PhysicalKindName(PhysicalKind kind) {
       return "LiteralScan";
     case PhysicalKind::kIndexScan:
       return "IndexScan";
+    case PhysicalKind::kColumnarScan:
+      return "ColumnarScan";
     case PhysicalKind::kFilter:
       return "Filter";
     case PhysicalKind::kProject:
@@ -111,6 +113,10 @@ std::string PhysicalNode::Label() const {
       out += " " + relation_name + " [$" + std::to_string(index_column) +
              " = " + index_value.ToString() + "]";
       if (predicate != nullptr) out += " residual " + predicate->ToString();
+      break;
+    case PhysicalKind::kColumnarScan:
+      out += " " + relation_name;
+      if (predicate != nullptr) out += " [" + predicate->ToString() + "]";
       break;
     case PhysicalKind::kFilter:
       out += " " + predicate->ToString();

@@ -35,6 +35,7 @@ enum class PhysicalKind {
   kTableScan,      // full scan of a named base relation
   kLiteralScan,    // scan of an inline relation
   kIndexScan,      // hash-index bucket lookup + residual filter
+  kColumnarScan,   // column-store scan, zone-pruned, predicate pushed down
   kFilter,         // σ_pred over a stream
   kProject,        // π_cols with streaming dedup
   kProduct,        // ×, right side materialized

@@ -247,6 +247,7 @@ std::vector<std::string> KnownFailpoints() {
       "rewrite.step",             // each normalization rule application
       "translate.plan",           // plan construction entry
       "exec.lower.plan",          // logical → physical lowering entry
+      "exec.lower.columnar",      // scan access-path choice for a select
       "exec.iterator.open",       // every operator open / instantiation
       "exec.scan.open",           // base-relation scan open
       "exec.hash.insert",         // join-family hash-table build, per tuple

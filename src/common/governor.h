@@ -194,6 +194,25 @@ class ResourceGovernor {
     return Tick();
   }
 
+  /// Counts `n` base-relation tuple reads in one step — the columnar
+  /// scan's segment-granular admission. The final `scanned()` total is
+  /// exactly the total of n per-row AdmitScan calls (bulk admission is a
+  /// counter reshape, not a discount), so row and columnar executions of
+  /// the same plan report bit-identical budget counters. The deadline /
+  /// cancellation / shard-flush slow path runs once per call — one poll
+  /// per segment of kCheckInterval rows, the same cadence the row path's
+  /// per-admission tick mask produces.
+  bool AdmitScanBulk(size_t n) {
+    if (n == 0) return !tripped();
+    scanned_ += n;
+    if (scanned_ > max_scanned_) {
+      TripBudget("scanned", scanned_ - n, max_scanned_);
+      return false;
+    }
+    ticks_ += n;
+    return SlowCheck();
+  }
+
   /// Counts one tuple inserted into intermediate state.
   bool AdmitMaterialize() {
     if (++materialized_ > max_materialized_) {

@@ -40,6 +40,12 @@ struct ExecOptions {
   /// Let the lowering's cost model put the smaller input of an inner hash
   /// join on the build side. Off means conventional build-right always.
   bool cost_based_build_side = true;
+
+  /// Let the lowering turn σ_pred(scan) into a ColumnarScan when the base
+  /// relation has a column store and the cost model favours it. Off means
+  /// the row path (TableScan + Filter / IndexScan) is always used — the
+  /// differential suite's oracle configuration.
+  bool use_columnar = true;
 };
 
 /// Evaluates algebra expressions over a database.

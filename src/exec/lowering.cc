@@ -67,9 +67,12 @@ class Lowerer {
         break;
       }
       case ExprKind::kSelect: {
-        // Access-path selection: σ_{col=value}(scan) over an indexed
-        // column becomes an index lookup; remaining conjuncts stay as a
-        // residual filter on the node.
+        // Access-path selection for σ_pred(scan): an indexed equality
+        // conjunct becomes an index lookup (point access beats any scan);
+        // otherwise a base relation with a column store becomes a
+        // zone-pruned columnar scan when the cost model favours it;
+        // otherwise the row path, a full scan plus filter.
+        BRYQL_FAILPOINT("exec.lower.columnar");
         if (expr->child()->kind() == ExprKind::kScan) {
           BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
                                  db_.Get(expr->child()->relation_name()));
@@ -83,6 +86,18 @@ class Lowerer {
             node->index_value = eq->value();
             node->predicate = std::move(residual);
             break;
+          }
+          if (options_.use_columnar && rel->column_store() != nullptr) {
+            const double rows = static_cast<double>(rel->size());
+            const double columnar_cost =
+                rows * kColumnarScanCostFactor + est.rows;
+            if (columnar_cost < node->est_cost) {
+              node->kind = PhysicalKind::kColumnarScan;
+              node->relation_name = expr->child()->relation_name();
+              node->predicate = expr->predicate();
+              node->est_cost = columnar_cost;
+              break;
+            }
           }
         }
         node->kind = PhysicalKind::kFilter;
@@ -255,6 +270,7 @@ void AnnotateParallel(const PhysicalNode* cnode, bool on_spine) {
     case PhysicalKind::kTableScan:
     case PhysicalKind::kLiteralScan:
     case PhysicalKind::kIndexScan:
+    case PhysicalKind::kColumnarScan:
       node->parallel_role = ParallelRole::kPartition;
       break;
     case PhysicalKind::kFilter:

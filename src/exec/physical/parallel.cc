@@ -162,6 +162,16 @@ Status ParallelRuntime::PrepareSpine(const PhysicalPlanPtr& node) {
                               std::make_unique<MorselSource>(size));
       return Status::Ok();
     }
+    case PhysicalKind::kColumnarScan: {
+      // Morsels are segment-aligned (kMorselSize == kSegmentRows) and
+      // sized over the row count, which also covers the stale-store
+      // row-path fallback in Build.
+      BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
+                             db_->Get(node->relation_name));
+      shared_.morsels.emplace(
+          node.get(), std::make_unique<MorselSource>(rel->rows().size()));
+      return Status::Ok();
+    }
     case PhysicalKind::kFilter:
       return PrepareSpine(node->children[0]);
     case PhysicalKind::kProject: {

@@ -8,6 +8,7 @@
 
 #include "algebra/predicate.h"
 #include "common/failpoints.h"
+#include "exec/physical/columnar_scan.h"
 #include "exec/physical/division.h"
 #include "exec/physical/filter.h"
 #include "exec/physical/hash_join.h"
@@ -169,6 +170,25 @@ Result<PhysicalOpPtr> PlanRuntime::Build(const PhysicalPlanPtr& node,
       op = PhysicalOpPtr(new IndexScanOp(
           rel, &rel->Matches(node->index_column, node->index_value),
           node->predicate, ctx_, morsels));
+      break;
+    }
+    case PhysicalKind::kColumnarScan: {
+      BRYQL_FAILPOINT("exec.scan.open");
+      BRYQL_ASSIGN_OR_RETURN(const Relation* rel,
+                             ctx_.db->Get(node->relation_name));
+      if (rel->column_store() == nullptr) {
+        // The column store the plan was lowered against no longer exists
+        // (stale cached plan, or the relation was replaced). Recover on
+        // the row path: full scan plus the pushed-down predicate.
+        PhysicalOpPtr scan(new TableScanOp(&rel->rows(), ctx_, morsels));
+        op = node->predicate == nullptr
+                 ? std::move(scan)
+                 : PhysicalOpPtr(
+                       new FilterOp(std::move(scan), node->predicate, ctx_));
+        break;
+      }
+      op = PhysicalOpPtr(new ColumnarScanOp(rel->column_store(),
+                                            node->predicate, ctx_, morsels));
       break;
     }
     case PhysicalKind::kFilter: {

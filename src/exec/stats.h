@@ -49,6 +49,13 @@ struct ExecStats {
   /// Operator instances evaluated (iterator openings / physical operator
   /// instantiations).
   size_t operators = 0;
+  /// Column-store segments whose rows a columnar scan evaluated (or
+  /// emitted wholesale on an all-match zone verdict).
+  size_t segments_scanned = 0;
+  /// Column-store segments skipped entirely by a zone-map verdict. Budget
+  /// accounting still admits their rows (parity with the row engine);
+  /// pruning saves value work, which `comparisons` shows.
+  size_t segments_pruned = 0;
   /// Per-operator detail, in plan-instantiation order (root first). Empty
   /// under the tuple-at-a-time engine, which has no per-operator clock.
   std::vector<OperatorStats> operator_stats;
@@ -59,6 +66,8 @@ struct ExecStats {
     comparisons += other.comparisons;
     hash_probes += other.hash_probes;
     operators += other.operators;
+    segments_scanned += other.segments_scanned;
+    segments_pruned += other.segments_pruned;
     operator_stats.insert(operator_stats.end(),
                           other.operator_stats.begin(),
                           other.operator_stats.end());
@@ -71,6 +80,12 @@ struct ExecStats {
     out += " comparisons=" + std::to_string(comparisons);
     out += " probes=" + std::to_string(hash_probes);
     out += " operators=" + std::to_string(operators);
+    // Columnar counters only appear when a columnar scan ran, keeping the
+    // line stable for the (row-only) golden outputs.
+    if (segments_scanned != 0 || segments_pruned != 0) {
+      out += " segments=" + std::to_string(segments_scanned);
+      out += " pruned=" + std::to_string(segments_pruned);
+    }
     return out;
   }
 

@@ -32,10 +32,26 @@ Value ParseCell(std::string_view cell) {
 
 Result<Relation> RelationFromCsv(std::string_view text) {
   std::vector<Tuple> rows;
+  size_t line_number = 0;
+  size_t arity = 0;
+  size_t arity_line = 0;
   for (const std::string& line_raw : Split(text, '\n')) {
+    ++line_number;
     std::string_view line = Trim(line_raw);
     if (line.empty() || line.front() == '#') continue;
     std::vector<std::string> cells = Split(line, ',');
+    if (rows.empty()) {
+      arity = cells.size();
+      arity_line = line_number;
+    } else if (cells.size() != arity) {
+      // Ragged input is a data error the caller must see located: report
+      // the offending line, not just the arity clash FromRows would give.
+      return Status::InvalidArgument(
+          "CSV line " + std::to_string(line_number) + ": expected " +
+          std::to_string(arity) + " fields (as on line " +
+          std::to_string(arity_line) + "), got " +
+          std::to_string(cells.size()));
+    }
     std::vector<Value> values;
     values.reserve(cells.size());
     for (const std::string& cell : cells) values.push_back(ParseCell(Trim(cell)));

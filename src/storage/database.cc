@@ -54,6 +54,28 @@ void Database::BuildAllIndexes() {
   }
 }
 
+Status Database::EnableColumnar(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  it->second.BuildColumnStore();
+  // A new access path invalidates prepared plans, like BuildIndex does.
+  ++version_;
+  return Status::Ok();
+}
+
+void Database::EnableColumnarAll() {
+  bool built = false;
+  for (auto& [name, rel] : relations_) {
+    if (rel.column_store() == nullptr) {
+      rel.BuildColumnStore();
+      built = true;
+    }
+  }
+  if (built) ++version_;
+}
+
 std::vector<std::string> Database::Names() const {
   std::vector<std::string> names;
   names.reserve(relations_.size());

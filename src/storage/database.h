@@ -42,6 +42,16 @@ class Database {
   /// Builds indexes on every column of every stored relation.
   void BuildAllIndexes();
 
+  /// Builds the column-major store for relation `name` (NotFound when no
+  /// such relation). Once built it is maintained by inserts, and the
+  /// lowerer may pick a columnar scan over it.
+  Status EnableColumnar(const std::string& name);
+
+  /// Builds column stores for every relation that lacks one. Idempotent:
+  /// the catalog version only advances when a store was actually built,
+  /// so prepared plans survive redundant calls.
+  void EnableColumnarAll();
+
   /// Registered names in lexicographic order.
   std::vector<std::string> Names() const;
 

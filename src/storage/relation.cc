@@ -4,6 +4,27 @@
 
 namespace bryql {
 
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      rows_(other.rows_),
+      index_(other.index_),
+      column_indexes_(other.column_indexes_),
+      columnar_(other.columnar_
+                    ? std::make_unique<ColumnStore>(*other.columnar_)
+                    : nullptr) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  rows_ = other.rows_;
+  index_ = other.index_;
+  column_indexes_ = other.column_indexes_;
+  columnar_ = other.columnar_
+                  ? std::make_unique<ColumnStore>(*other.columnar_)
+                  : nullptr;
+  return *this;
+}
+
 Result<Relation> Relation::FromRows(std::vector<Tuple> rows) {
   if (rows.empty()) return Relation(0);
   Relation rel(rows.front().arity());
@@ -30,8 +51,14 @@ Result<bool> Relation::Insert(Tuple tuple) {
   for (auto& [column, column_index] : column_indexes_) {
     column_index[tuple.at(column)].push_back(rows_.size());
   }
+  if (columnar_) columnar_->Append(tuple);
   rows_.push_back(std::move(tuple));
   return true;
+}
+
+void Relation::BuildColumnStore() {
+  columnar_ = std::make_unique<ColumnStore>(arity_);
+  for (const Tuple& t : rows_) columnar_->Append(t);
 }
 
 Status Relation::BuildIndex(size_t column) {

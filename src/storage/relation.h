@@ -2,6 +2,7 @@
 #define BRYQL_STORAGE_RELATION_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/columnar/column_store.h"
 #include "storage/tuple.h"
 
 namespace bryql {
@@ -25,6 +27,14 @@ class Relation {
   /// An empty relation of the given arity. Arity 0 relations model the two
   /// boolean constants: {} is false, {()} is true.
   explicit Relation(size_t arity = 0) : arity_(arity) {}
+
+  /// Copies deep-copy the optional column store so the copy stays
+  /// self-contained (Database hands out copies of cached domains, tests
+  /// copy fixtures); moves transfer it.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
 
   /// Builds a relation from rows; duplicate rows collapse. All rows must
   /// have the same arity.
@@ -78,6 +88,17 @@ class Relation {
   const std::vector<size_t>& Matches(size_t column,
                                      const Value& value) const;
 
+  /// --- columnar representation ------------------------------------
+  /// An optional column-major mirror of rows(), built on demand and then
+  /// maintained incrementally by Insert. The row store stays
+  /// authoritative; the column store is an acceleration structure with
+  /// the invariant rows()[i] == columnar row i.
+
+  /// Builds (or rebuilds) the column store from the current rows.
+  void BuildColumnStore();
+  /// The column store, or nullptr when BuildColumnStore was never called.
+  const ColumnStore* column_store() const { return columnar_.get(); }
+
  private:
   using ColumnIndex = std::unordered_map<Value, std::vector<size_t>,
                                          ValueHash>;
@@ -86,6 +107,7 @@ class Relation {
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> index_;
   std::map<size_t, ColumnIndex> column_indexes_;
+  std::unique_ptr<ColumnStore> columnar_;
 };
 
 }  // namespace bryql

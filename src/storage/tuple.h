@@ -26,6 +26,10 @@ class Tuple {
   /// Appends a value; used by operators assembling wider tuples.
   void Append(Value v) { values_.push_back(std::move(v)); }
 
+  /// Empties the tuple but keeps its storage, so a warm slot can be
+  /// rebuilt in place (the columnar gather path).
+  void Clear() { values_.clear(); }
+
   /// The concatenation (*this, other) — the building block of joins.
   Tuple Concat(const Tuple& other) const;
 

@@ -76,6 +76,25 @@ TEST(CsvTest, RejectsMixedArity) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(CsvTest, RaggedRowRejectionNamesTheLine) {
+  // Line 1 is a comment, line 2 blank, line 3 fixes the arity at 2; the
+  // ragged row sits on physical line 5 and the error must say so.
+  auto r = RelationFromCsv("# header\n\na,1\nb,2\nc,3,4\nd,5\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 5"), std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("got 3"), std::string::npos)
+      << r.status().message();
+
+  // Short rows are just as ragged as long ones.
+  auto s = RelationFromCsv("a,1\nb\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.status().message().find("line 2"), std::string::npos)
+      << s.status().message();
+}
+
 TEST(CsvTest, RoundTrip) {
   Relation in = StringPairs({{"a", "x"}, {"b", "y"}});
   auto text = RelationToCsv(in);

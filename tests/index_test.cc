@@ -40,6 +40,34 @@ TEST(RelationIndexTest, MaintainedAcrossInserts) {
   EXPECT_EQ(rel.Matches(0, Value::Int(7)).size(), 1u);
 }
 
+TEST(RelationIndexTest, InsertAfterBuildIndexIsProbeVisible) {
+  // Pin the maintenance contract: rows inserted *after* BuildIndex must
+  // be reachable through the per-column indexes immediately, with row
+  // positions that point at the new rows — the invariant both engines'
+  // index access paths (and now the columnar chooser's rival, the
+  // IndexScan) depend on.
+  Relation rel = BigPairs(100);
+  rel.BuildIndex(0);
+  rel.BuildIndex(1);
+  ASSERT_TRUE(*rel.Insert(Tuple({Value::Int(1000), Value::Int(3)})));
+  ASSERT_TRUE(*rel.Insert(Tuple({Value::Int(1001), Value::Int(3)})));
+
+  const auto& hits = rel.Matches(0, Value::Int(1000));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(rel.rows()[hits[0]].at(0), Value::Int(1000));
+  // Column 1 already had 10 rows with value 3; the two inserts join them.
+  EXPECT_EQ(rel.Matches(1, Value::Int(3)).size(), 12u);
+
+  // The incrementally maintained index must equal a from-scratch rebuild.
+  Relation rebuilt = rel;
+  rebuilt.BuildIndex(1);
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_EQ(rel.Matches(1, Value::Int(v)),
+              rebuilt.Matches(1, Value::Int(v)))
+        << v;
+  }
+}
+
 TEST(RelationIndexTest, RowPositionsAreValid) {
   Relation rel = BigPairs(50);
   rel.BuildIndex(0);
